@@ -1,0 +1,79 @@
+// E10 — ablation of Yan's ticket budget (Sec. VII-B).
+//
+// "The probability based method selectively probes the routing links ...
+// to avoid brute-force flooding probing." Sweep the ticket budget L and
+// compare against AODV's flooded discovery: probe overhead per delivery vs
+// achieved PDR and path stability.
+#include <iostream>
+
+#include "sim/runner.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+  std::cout << "# Ablation — Yan ticket-based probing vs flooded discovery "
+               "(4 km highway, 30 veh/dir)\n\n";
+
+  sim::Table table({"discovery", "PDR", "delay ms", "ctrl tx/delivered",
+                    "hello tx/delivered", "pred. route life s"});
+
+  auto base = [] {
+    sim::ScenarioConfig cfg;
+    cfg.mobility = sim::MobilityKind::kHighway;
+    cfg.highway.length = 4000.0;
+    cfg.vehicles_per_direction = 30;
+    cfg.comm_range_m = 250.0;
+    cfg.duration_s = 50.0;
+    cfg.traffic.flows = 8;
+    cfg.traffic.rate_pps = 1.0;
+    cfg.traffic.start_s = 5.0;
+    cfg.traffic.stop_s = 40.0;
+    cfg.traffic.min_pair_distance_m = 700.0;
+    return cfg;
+  };
+
+  for (int tickets : {1, 2, 4, 8}) {
+    sim::ScenarioConfig cfg = base();
+    cfg.protocol = "yan";
+    cfg.yan_tickets = tickets;
+    const sim::AggregateReport agg = sim::run_seeds(cfg, 3);
+    std::uint64_t ctrl = 0, hello = 0;
+    for (const auto& run : agg.runs) {
+      ctrl += run.control_frames;
+      hello += run.hello_frames;
+    }
+    const double per = agg.total_delivered > 0
+                           ? static_cast<double>(agg.total_delivered)
+                           : 1.0;
+    table.add_row({"yan L=" + std::to_string(tickets),
+                   sim::fmt(agg.pdr.mean(), 3), sim::fmt(agg.delay_ms.mean(), 1),
+                   sim::fmt(ctrl / per, 2), sim::fmt(hello / per, 1),
+                   sim::fmt(agg.predicted_lifetime_s.mean(), 1)});
+  }
+  for (const char* protocol : {"yan-ss", "aodv"}) {
+    sim::ScenarioConfig cfg = base();
+    cfg.protocol = protocol;
+    const sim::AggregateReport agg = sim::run_seeds(cfg, 3);
+    std::uint64_t ctrl = 0, hello = 0;
+    for (const auto& run : agg.runs) {
+      ctrl += run.control_frames;
+      hello += run.hello_frames;
+    }
+    const double per = agg.total_delivered > 0
+                           ? static_cast<double>(agg.total_delivered)
+                           : 1.0;
+    table.add_row({std::string(protocol) + (std::string(protocol) == "aodv"
+                                                ? " (flooded RREQ)"
+                                                : " (stability floor)"),
+                   sim::fmt(agg.pdr.mean(), 3), sim::fmt(agg.delay_ms.mean(), 1),
+                   sim::fmt(ctrl / per, 2), sim::fmt(hello / per, 1),
+                   sim::fmt(agg.predicted_lifetime_s.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check (paper): a handful of tickets buys near-AODV "
+               "PDR at a fraction of the control frames per delivery; more "
+               "tickets improve path quality with diminishing returns — the "
+               "selective-probing argument of Sec. VII.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E2 / Fig. 2 + Sec. III — connectivity-based routing and the broadcast
+// storm [5].
+//
+// Flooding vs AODV's RREQ/RREP discovery over rising vehicle density:
+// duplicates, per-delivery transmission cost, MAC collisions and PDR. The
+// survey's claims: flooding "generates a lot of duplicates ... and even
+// causes broadcasting storm" as population grows, while remaining "reliable
+// in terms of availability" at low density; AODV bounds the flood to the
+// discovery phase.
+#include <iostream>
+
+#include "sim/runner.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+  std::cout << "# Fig. 2 / Sec. III — connectivity-based routing vs density "
+               "(4 km highway, 6 flows x 1 pps)\n\n";
+
+  sim::Table table({"veh/dir", "protocol", "PDR", "delay ms",
+                    "data tx/delivered", "ctrl tx/delivered",
+                    "rx/delivered (dup load)", "collision frac"});
+
+  for (int density : {10, 20, 40, 70}) {
+    for (const char* protocol : {"flooding", "biswas", "aodv", "dsr"}) {
+      sim::ScenarioConfig cfg;
+      cfg.mobility = sim::MobilityKind::kHighway;
+      cfg.highway.length = 4000.0;
+      cfg.vehicles_per_direction = density;
+      cfg.comm_range_m = 250.0;
+      cfg.duration_s = 40.0;
+      cfg.protocol = protocol;
+      cfg.traffic.flows = 6;
+      cfg.traffic.rate_pps = 1.0;
+      cfg.traffic.start_s = 4.0;
+      cfg.traffic.stop_s = 34.0;
+      cfg.traffic.min_pair_distance_m = 600.0;
+
+      std::uint64_t data_tx = 0, ctrl_tx = 0, rx_ok = 0, delivered = 0;
+      analysis::RunningStats pdr, delay, collisions;
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        cfg.seed = seed;
+        sim::Scenario s{cfg};
+        s.run();
+        const auto r = s.report();
+        pdr.add(r.pdr);
+        if (r.delivered > 0) delay.add(r.delay_ms_mean);
+        collisions.add(r.collision_fraction);
+        data_tx += r.data_frames;
+        ctrl_tx += r.control_frames;
+        rx_ok += s.network().counters().receptions_ok;
+        delivered += r.delivered;
+      }
+      const double per = delivered > 0 ? static_cast<double>(delivered) : 1.0;
+      table.add_row({sim::fmt_int(density), protocol, sim::fmt(pdr.mean(), 3),
+                     sim::fmt(delay.mean(), 1), sim::fmt(data_tx / per, 1),
+                     sim::fmt(ctrl_tx / per, 1), sim::fmt(rx_ok / per, 1),
+                     sim::fmt(collisions.mean(), 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check (paper): flooding's duplicate load (rx per "
+               "delivery) and collision fraction climb superlinearly with "
+               "density — the onset of the broadcast storm; AODV/DSR confine "
+               "flooding to RREQs, trading lower duplicate load for "
+               "discovery latency; Biswas adds retransmissions on top of "
+               "flooding (higher cost, sparse-traffic reliability).\n";
+  return 0;
+}

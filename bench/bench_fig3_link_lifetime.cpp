@@ -1,0 +1,106 @@
+// E3 / Fig. 3 + Eqns. 1-4 — the lifetime of a communication link.
+//
+// (a) The canonical speed/acceleration combinations of Fig. 3, solved in
+//     closed form, cross-checked against the numeric 2-D solver and against
+//     a brute-force kinematic simulation.
+// (b) Lifetime as a function of relative speed for several initial
+//     separations — the curve family the equations describe.
+// (c) The effect of the speed limit v_m (saturation) on link lifetime.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/link_lifetime.h"
+#include "sim/table.h"
+
+namespace {
+
+/// Brute-force first |d(t)| >= r with saturating kinematics.
+double brute_force(vanet::analysis::Kinematics1D i,
+                   vanet::analysis::Kinematics1D j, double d0, double r,
+                   double v_max) {
+  for (double t = 0.0; t < 3600.0; t += 1e-3) {
+    if (std::abs(vanet::analysis::separation_at(i, j, d0, t, v_max)) >= r) {
+      return t;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::string fmt_life(double x) {
+  return std::isinf(x) ? "inf" : vanet::sim::fmt(x, 3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace vanet;
+  using analysis::Kinematics1D;
+  const double r = 250.0;  // communication range
+  const double vm = 38.0;  // speed limit v_m
+
+  std::cout << "# Fig. 3 / Eqns. 1-4 — link lifetime under vehicle "
+               "kinematics (r = 250 m, v_m = 38 m/s)\n\n";
+  std::cout << "## (a) Canonical cases: closed form vs numeric vs simulated\n\n";
+
+  struct Case {
+    const char* name;
+    Kinematics1D i, j;
+    double d0;
+  };
+  const Case cases[] = {
+      {"same speed (never breaks)", {30, 0}, {30, 0}, 100},
+      {"i faster, i ahead (Fig.3a-I)", {32, 0}, {27, 0}, 100},
+      {"i faster, j ahead (pass-through)", {32, 0}, {22, 0}, -150},
+      {"i accelerates away (Fig.3a-II)", {30, 1.0}, {30, 0}, 50},
+      {"j brakes to stop (Fig.3b-I)", {10, 0}, {10, -2.0}, 100},
+      {"both accelerate, i harder (Fig.3b-II)", {25, 1.5}, {25, 0.5}, 0},
+      {"opposite-direction pass", {30, 0}, {-30, 0}, -240},
+      {"i brakes, j cruises (closing from behind)", {35, -1.0}, {20, 0}, -200},
+  };
+
+  sim::Table t1({"case", "closed-form s", "I(i,j)", "2-D numeric s",
+                 "simulated s", "|err|"});
+  for (const auto& c : cases) {
+    const auto res = analysis::link_lifetime_1d(c.i, c.j, c.d0, r, vm);
+    const auto sim2d = analysis::link_lifetime_2d(
+        {c.d0, 0.0}, {c.i.v, 0.0}, {c.i.a, 0.0}, {0.0, 0.0}, {c.j.v, 0.0},
+        {c.j.a, 0.0}, r, 3600.0, 0.05, 1e-5);
+    const double brute = brute_force(c.i, c.j, c.d0, r, vm);
+    const double err =
+        std::isinf(res.lifetime) ? 0.0 : std::abs(res.lifetime - brute);
+    // NOTE: the 2-D solver has no speed cap, so it matches only the cases
+    // that never saturate; saturation cases show the cap's effect.
+    t1.add_row({c.name, fmt_life(res.lifetime), std::to_string(res.indicator),
+                sim2d ? fmt_life(*sim2d) : "inf", fmt_life(brute),
+                sim::fmt(err, 4)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n## (b) Lifetime vs relative speed dv (constant speeds)\n\n";
+  sim::Table t2({"dv m/s", "d0=0", "d0=100", "d0=200", "d0=-100"});
+  for (double dv : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0}) {
+    auto life = [&](double d0) {
+      return analysis::link_lifetime_1d({25.0 + dv, 0}, {25.0, 0}, d0, r)
+          .lifetime;
+    };
+    t2.add_row({sim::fmt(dv, 0), fmt_life(life(0.0)), fmt_life(life(100.0)),
+                fmt_life(life(200.0)), fmt_life(life(-100.0))});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n## (c) Speed-limit saturation: accelerating leader, "
+               "v_m sweep (i: 30 m/s +1 m/s^2, j: 30 m/s, d0 = 0)\n\n";
+  sim::Table t3({"v_m m/s", "lifetime s"});
+  for (double cap : {32.0, 35.0, 40.0, 50.0, 1e9}) {
+    const auto res =
+        analysis::link_lifetime_1d({30.0, 1.0}, {30.0, 0.0}, 0.0, r, cap);
+    t3.add_row({cap > 1e8 ? "none" : sim::fmt(cap, 0), fmt_life(res.lifetime)});
+  }
+  t3.print(std::cout);
+
+  std::cout << "\nShape check (paper): lifetime falls as ~r/dv; tighter "
+               "speed limits lengthen link lifetimes by capping relative "
+               "speed; the indicator I(i,j) identifies which vehicle leads "
+               "at the break (Eqn. 3-4).\n";
+  return 0;
+}

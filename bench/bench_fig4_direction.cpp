@@ -1,0 +1,124 @@
+// E4 / Fig. 4 — the direction of mobility.
+//
+// (a) The decomposition test itself on synthetic geometry.
+// (b) Taleb's premise measured on the IDM highway: links between
+//     same-direction vehicles should live several times longer than links
+//     between opposite-direction vehicles. We snapshot all in-range pairs,
+//     classify them with the paper's test, then watch the mobility model
+//     until each link actually breaks.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analysis/direction.h"
+#include "analysis/stats.h"
+#include "core/rng.h"
+#include "mobility/idm_highway.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+  std::cout << "# Fig. 4 — velocity decomposition and the same-direction "
+               "test\n\n";
+  std::cout << "## (a) Decomposition on canonical geometries\n\n";
+
+  struct Case {
+    const char* name;
+    core::Vec2 pa, pb, va, vb;
+  };
+  const Case cases[] = {
+      {"convoy (same lane)", {0, 0}, {100, 0}, {30, 1}, {28, 2}},
+      {"opposite carriageways", {0, 0}, {100, 8}, {30, 0}, {-30, 0}},
+      {"cross traffic", {0, 0}, {80, 60}, {20, 0}, {0, -20}},
+      {"diagonal same heading", {0, 0}, {50, 50}, {10, 10}, {12, 11}},
+  };
+  sim::Table t1({"geometry", "v_ah", "v_bh", "v_av", "v_bv", "same dir?"});
+  for (const auto& c : cases) {
+    const auto d = analysis::decompose(c.pa, c.pb, c.va, c.vb);
+    t1.add_row({c.name, sim::fmt(d.a_along, 2), sim::fmt(d.b_along, 2),
+                sim::fmt(d.a_perp, 2), sim::fmt(d.b_perp, 2),
+                analysis::same_direction(d) ? "yes" : "no"});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n## (b) Measured link lifetime by direction class "
+               "(IDM highway, 2 km ring, 40 veh/direction, r = 250 m)\n\n";
+
+  mobility::HighwayConfig cfg;
+  cfg.length = 2000.0;
+  core::Rng rng{2024};
+  mobility::IdmHighwayModel model{cfg};
+  model.populate(40, rng);
+  const double r = 250.0;
+  const double dt = 0.1;
+  // Warm-up so IDM settles.
+  for (int s = 0; s < 100; ++s) model.step(dt, rng);
+
+  struct Tracked {
+    mobility::VehicleId a, b;
+    bool same;
+    bool classified_same;
+    double born;
+    double died = -1.0;
+  };
+  std::vector<Tracked> pairs;
+  const auto& vs = model.vehicles();
+  int correct = 0, total = 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      const double d = (vs[i].pos - vs[j].pos).norm();
+      if (d >= r || d < 1.0) continue;
+      const bool truly_same =
+          model.direction(vs[i].id) == model.direction(vs[j].id);
+      const bool classified = analysis::same_direction(
+          vs[i].pos, vs[j].pos, vs[i].velocity(), vs[j].velocity());
+      pairs.push_back({vs[i].id, vs[j].id, truly_same, classified, 0.0});
+      ++total;
+      if (classified == truly_same) ++correct;
+    }
+  }
+
+  double t = 0.0;
+  std::size_t open = pairs.size();
+  while (open > 0 && t < 300.0) {
+    model.step(dt, rng);
+    t += dt;
+    for (auto& p : pairs) {
+      if (p.died >= 0.0) continue;
+      const double d =
+          (model.state(p.a).pos - model.state(p.b).pos).norm();
+      if (d >= r) {
+        p.died = t;
+        --open;
+      }
+    }
+  }
+
+  analysis::RunningStats same_life, cross_life;
+  for (const auto& p : pairs) {
+    const double life = p.died >= 0.0 ? p.died : 300.0;  // censored at 300 s
+    (p.same ? same_life : cross_life).add(life);
+  }
+
+  sim::Table t2({"direction class", "pairs", "mean lifetime s", "min s",
+                 "max s"});
+  t2.add_row({"same direction", sim::fmt_int(same_life.count()),
+              sim::fmt(same_life.mean(), 1), sim::fmt(same_life.min(), 1),
+              sim::fmt(same_life.max(), 1)});
+  t2.add_row({"opposite/cross", sim::fmt_int(cross_life.count()),
+              sim::fmt(cross_life.mean(), 1), sim::fmt(cross_life.min(), 1),
+              sim::fmt(cross_life.max(), 1)});
+  t2.print(std::cout);
+
+  std::cout << "\nclassifier accuracy vs ground-truth carriageway: "
+            << sim::fmt(100.0 * correct / std::max(1, total), 1) << "% over "
+            << total << " in-range pairs\n";
+  std::cout << "lifetime ratio same/opposite: "
+            << sim::fmt(same_life.mean() / std::max(1e-9, cross_life.mean()), 1)
+            << "x\n";
+  std::cout << "\nShape check (paper, Sec. IV): links between vehicles "
+               "moving in the same direction persist several times longer — "
+               "the basis of Taleb's and Abedi's protocols.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E12 — microbenchmarks of the performance-critical primitives
+// (google-benchmark): event queue, spatial index, lifetime solvers,
+// survival/expectation integrals, IDM stepping and one MAC broadcast.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/lifetime_distribution.h"
+#include "analysis/link_lifetime.h"
+#include "core/event_queue.h"
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "core/spatial_grid.h"
+#include "mobility/idm_highway.h"
+#include "net/network.h"
+
+namespace {
+
+using namespace vanet;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    core::EventQueue q;
+    core::SimTime now;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(core::SimTime::micros((i * 7919) % 10000),
+                 [&sink] { ++sink; });
+    }
+    while (q.run_next(now)) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SpatialGridQuery(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::SpatialGrid grid{250.0};
+  core::Rng rng{1};
+  for (int i = 0; i < n; ++i) {
+    grid.insert(static_cast<core::SpatialGrid::Id>(i),
+                {rng.uniform(0.0, 5000.0), rng.uniform(0.0, 5000.0)});
+  }
+  for (auto _ : state) {
+    auto out = grid.query_radius({2500.0, 2500.0}, 250.0);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpatialGridQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LinkLifetimeClosedForm(benchmark::State& state) {
+  core::Rng rng{2};
+  for (auto _ : state) {
+    const auto res = analysis::link_lifetime_1d(
+        {rng.uniform(0.0, 40.0), rng.uniform(-3.0, 3.0)},
+        {rng.uniform(0.0, 40.0), rng.uniform(-3.0, 3.0)},
+        rng.uniform(-240.0, 240.0), 250.0, 40.0);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_LinkLifetimeClosedForm);
+
+void BM_LinkLifetime2D(benchmark::State& state) {
+  core::Rng rng{3};
+  for (auto _ : state) {
+    const auto res = analysis::link_lifetime_2d(
+        {0.0, 0.0}, {rng.uniform(0.0, 40.0), 0.0}, {0.0, 0.0},
+        {rng.uniform(-200.0, 200.0), rng.uniform(-20.0, 20.0)},
+        {rng.uniform(-40.0, 40.0), 0.0}, {0.0, 0.0}, 250.0, 120.0, 0.25, 1e-3);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_LinkLifetime2D);
+
+void BM_LifetimeSurvival(benchmark::State& state) {
+  const analysis::LinkLifetimeDistribution dist{250.0, 80.0, 4.0, 2.0};
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.survival(t));
+    t += 0.1;
+    if (t > 100.0) t = 0.1;
+  }
+}
+BENCHMARK(BM_LifetimeSurvival);
+
+void BM_ExpectedLifetime(benchmark::State& state) {
+  const analysis::LinkLifetimeDistribution dist{250.0, 80.0, 1.0, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.expected_lifetime(600.0));
+  }
+}
+BENCHMARK(BM_ExpectedLifetime);
+
+void BM_IdmHighwayStep(benchmark::State& state) {
+  mobility::HighwayConfig cfg;
+  cfg.length = 4000.0;
+  mobility::IdmHighwayModel model{cfg};
+  core::Rng rng{4};
+  model.populate(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    model.step(0.1, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * model.vehicles().size());
+}
+BENCHMARK(BM_IdmHighwayStep)->Arg(40)->Arg(80);
+
+void BM_MacBroadcastRound(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Simulator sim;
+    core::RngManager rngs{5};
+    net::Network net{sim, nullptr, std::make_unique<net::UnitDiskModel>(250.0),
+                     rngs.stream("net")};
+    for (int i = 0; i < 30; ++i) {
+      net.add_rsu({i * 60.0, 0.0});
+    }
+    state.ResumeTiming();
+    net::Packet p;
+    p.kind = net::PacketKind::kData;
+    p.size_bytes = 512;
+    net.send(0, p);
+    sim.run_until(core::SimTime::seconds(1.0));
+    benchmark::DoNotOptimize(net.counters().receptions_ok);
+  }
+}
+BENCHMARK(BM_MacBroadcastRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// E8 / Sec. IV-A.1 — "The lifetime of the routing path is the minimum
+// lifetime of all links involved in the routing path."
+//
+// On the IDM highway we build multi-hop chains, predict every link's
+// lifetime from instantaneous kinematics (Eqns. 1-4 solved in 2-D), take the
+// min as the path prediction, then keep simulating until the path actually
+// breaks. Rows per hop count: predicted vs observed break time.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analysis/link_lifetime.h"
+#include "analysis/stats.h"
+#include "core/rng.h"
+#include "mobility/idm_highway.h"
+#include "sim/table.h"
+
+namespace {
+
+struct Path {
+  std::vector<vanet::mobility::VehicleId> nodes;
+  double predicted = 0.0;
+  int predicted_break_link = -1;
+  double observed = -1.0;
+  int observed_break_link = -1;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vanet;
+  const double r = 250.0;
+  std::cout << "# Sec. IV-A.1 — path lifetime = min(link lifetimes) "
+               "(IDM highway, 4 km, 35 veh/dir, r = 250 m)\n\n";
+
+  mobility::HighwayConfig cfg;
+  cfg.length = 4000.0;
+  core::Rng rng{11};
+  mobility::IdmHighwayModel model{cfg};
+  model.populate(35, rng);
+  for (int s = 0; s < 150; ++s) model.step(0.1, rng);  // settle
+
+  // Build chains: from each seed vehicle, repeatedly hop to the farthest
+  // same-heading-progress neighbor within 0.9 r (a greedy forward chain).
+  const auto& vs = model.vehicles();
+  std::vector<Path> paths;
+  core::Rng pick{23};
+  for (int attempt = 0; attempt < 300 && paths.size() < 120; ++attempt) {
+    const auto start = static_cast<std::size_t>(
+        pick.uniform_int(0, static_cast<std::int64_t>(vs.size()) - 1));
+    Path path;
+    path.nodes.push_back(vs[start].id);
+    const int want_hops = static_cast<int>(pick.uniform_int(1, 5));
+    for (int hop = 0; hop < want_hops; ++hop) {
+      const auto& cur = model.state(path.nodes.back());
+      mobility::VehicleId best = cur.id;
+      double best_dx = 20.0;  // at least 20 m of progress
+      for (const auto& cand : vs) {
+        if (cand.id == cur.id) continue;
+        if (std::find(path.nodes.begin(), path.nodes.end(), cand.id) !=
+            path.nodes.end()) {
+          continue;
+        }
+        const double d = (cand.pos - cur.pos).norm();
+        if (d >= 0.9 * r) continue;
+        const double dx = (cand.pos.x - cur.pos.x) * cur.heading.x;
+        if (dx > best_dx) {
+          best_dx = dx;
+          best = cand.id;
+        }
+      }
+      if (best == cur.id) break;
+      path.nodes.push_back(best);
+    }
+    if (path.nodes.size() < 2) continue;
+    // Predict each link.
+    path.predicted = analysis::kInfiniteLifetime;
+    for (std::size_t k = 0; k + 1 < path.nodes.size(); ++k) {
+      const auto& a = model.state(path.nodes[k]);
+      const auto& b = model.state(path.nodes[k + 1]);
+      const auto life = analysis::link_lifetime_2d(
+          a.pos, a.velocity(), a.acceleration(), b.pos, b.velocity(),
+          b.acceleration(), r, 600.0, 0.1, 1e-3);
+      const double l = life.value_or(analysis::kInfiniteLifetime);
+      if (l < path.predicted) {
+        path.predicted = l;
+        path.predicted_break_link = static_cast<int>(k);
+      }
+    }
+    if (!std::isfinite(path.predicted)) continue;
+    paths.push_back(std::move(path));
+  }
+
+  // Observe actual break times under the full IDM dynamics.
+  double t = 0.0;
+  std::size_t open = paths.size();
+  while (open > 0 && t < 240.0) {
+    model.step(0.1, rng);
+    t += 0.1;
+    for (auto& p : paths) {
+      if (p.observed >= 0.0) continue;
+      for (std::size_t k = 0; k + 1 < p.nodes.size(); ++k) {
+        const double d = (model.state(p.nodes[k]).pos -
+                          model.state(p.nodes[k + 1]).pos)
+                             .norm();
+        if (d >= r) {
+          p.observed = t;
+          p.observed_break_link = static_cast<int>(k);
+          --open;
+          break;
+        }
+      }
+    }
+  }
+
+  std::map<int, analysis::RunningStats> pred_by_hops, obs_by_hops, err_by_hops;
+  int link_match = 0, total_broken = 0;
+  for (const auto& p : paths) {
+    const int hops = static_cast<int>(p.nodes.size()) - 1;
+    const double observed = p.observed >= 0.0 ? p.observed : 240.0;
+    pred_by_hops[hops].add(p.predicted);
+    obs_by_hops[hops].add(observed);
+    err_by_hops[hops].add(std::abs(p.predicted - observed));
+    if (p.observed >= 0.0) {
+      ++total_broken;
+      if (p.observed_break_link == p.predicted_break_link) ++link_match;
+    }
+  }
+
+  sim::Table table({"hops", "paths", "mean predicted s", "mean observed s",
+                    "mean |err| s"});
+  for (const auto& [hops, pred] : pred_by_hops) {
+    table.add_row({sim::fmt_int(hops), sim::fmt_int(pred.count()),
+                   sim::fmt(pred.mean(), 1),
+                   sim::fmt(obs_by_hops[hops].mean(), 1),
+                   sim::fmt(err_by_hops[hops].mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nbreaking link identified by the min-rule: "
+            << sim::fmt(100.0 * link_match / std::max(1, total_broken), 1)
+            << "% of " << total_broken << " broken paths\n";
+  std::cout << "\nShape check (paper): longer paths live shorter (min over "
+               "more links); the instantaneous-kinematics prediction tracks "
+               "the observed break time and usually names the breaking "
+               "link — the basis for PBR's preemptive rebuilds.\n";
+  return 0;
+}

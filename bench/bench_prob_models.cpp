@@ -1,0 +1,110 @@
+// E9 / Sec. VII-A — the probability models behind REAR, GVGrid, Yan and CAR,
+// each validated analytic-vs-Monte-Carlo:
+//   (a) receipt probability under log-normal shadowing (REAR),
+//   (b) link-lifetime distribution under normal relative speed (GVGrid/Yan),
+//   (c) road-segment connectivity under Poisson traffic (CAR).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "analysis/connectivity_prob.h"
+#include "analysis/lifetime_distribution.h"
+#include "analysis/signal.h"
+#include "core/rng.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+  core::Rng rng{7};
+
+  std::cout << "# Sec. VII-A — probability models, analytic vs Monte Carlo\n\n";
+  std::cout << "## (a) Receipt probability (log-normal shadowing, REAR)\n\n";
+  const analysis::LogNormalParams sp;
+  std::cout << "nominal range (P=0.5): " << sim::fmt(analysis::nominal_range(sp), 1)
+            << " m, hard cutoff: " << sim::fmt(analysis::max_range(sp), 1)
+            << " m\n\n";
+  sim::Table ta({"distance m", "analytic P", "monte-carlo P", "|err|"});
+  for (double d : {50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0}) {
+    const double analytic = analysis::receipt_probability(d, sp);
+    int ok = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      const double rx =
+          analysis::mean_rx_dbm(d, sp) + rng.normal(0.0, sp.shadowing_sigma_db);
+      if (rx >= sp.rx_threshold_dbm) ++ok;
+    }
+    const double mc = static_cast<double>(ok) / n;
+    ta.add_row({sim::fmt(d, 0), sim::fmt(analytic, 4), sim::fmt(mc, 4),
+                sim::fmt(std::abs(analytic - mc), 4)});
+  }
+  ta.print(std::cout);
+
+  std::cout << "\n## (b) Link lifetime under dv ~ N(mu, sigma^2) "
+               "(r = 250 m)\n\n";
+  sim::Table tb({"d0 m", "mu m/s", "sigma", "E[T] analytic", "E[T] MC",
+                 "S(10s) analytic", "S(10s) MC"});
+  struct Row {
+    double d0, mu, sigma;
+  };
+  for (const Row& c : std::vector<Row>{{0, 5, 2},
+                                       {100, 5, 2},
+                                       {200, 5, 2},
+                                       {0, 20, 5},
+                                       {100, -10, 3},
+                                       {50, 2, 1}}) {
+    const analysis::LinkLifetimeDistribution dist{250.0, c.d0, c.mu, c.sigma};
+    const int n = 40000;
+    double sum = 0.0;
+    int alive10 = 0;
+    for (int i = 0; i < n; ++i) {
+      const double dv = rng.normal(c.mu, c.sigma);
+      double life;
+      if (std::abs(dv) < 1e-12) {
+        life = 3600.0;
+      } else if (dv > 0.0) {
+        life = (250.0 - c.d0) / dv;
+      } else {
+        life = (250.0 + c.d0) / -dv;
+      }
+      // Match the analytic truncation horizon (E[min(T, 3600)]).
+      sum += std::min(life, 3600.0);
+      if (life > 10.0) ++alive10;
+    }
+    tb.add_row({sim::fmt(c.d0, 0), sim::fmt(c.mu, 0), sim::fmt(c.sigma, 0),
+                sim::fmt(dist.expected_lifetime(), 2), sim::fmt(sum / n, 2),
+                sim::fmt(dist.survival(10.0), 3),
+                sim::fmt(static_cast<double>(alive10) / n, 3)});
+  }
+  tb.print(std::cout);
+
+  std::cout << "\n## (c) Segment connectivity probability (Poisson traffic, "
+               "CAR; segment 1000 m, r = 250 m)\n\n";
+  sim::Table tc({"density veh/km", "analytic P", "monte-carlo P", "|err|"});
+  for (double per_km : {2.0, 4.0, 8.0, 12.0, 20.0, 40.0}) {
+    const double lambda = per_km / 1000.0;
+    const double analytic =
+        analysis::segment_connectivity_probability(lambda, 1000.0, 250.0);
+    const int trials = 8000;
+    int connected = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<double> pos;
+      double x = rng.exponential(lambda);
+      while (x < 1000.0) {
+        pos.push_back(x);
+        x += rng.exponential(lambda);
+      }
+      if (analysis::empirical_segment_connected(pos, 1000.0, 250.0)) ++connected;
+    }
+    const double mc = static_cast<double>(connected) / trials;
+    tc.add_row({sim::fmt(per_km, 0), sim::fmt(analytic, 3), sim::fmt(mc, 3),
+                sim::fmt(std::abs(analytic - mc), 3)});
+  }
+  tc.print(std::cout);
+
+  std::cout << "\nShape check (paper): receipt probability decays smoothly "
+               "with distance (not a hard disk); lifetime shortens with "
+               "drift speed and initial separation; connectivity rises "
+               "steeply with density — the regime split CAR exploits.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// The survey's motivating scenario (Sec. I): "a car that travels down an
+// interstate and whose passengers are interested in viewing a particular
+// movie. The various blocks of this movie happen to be available at various
+// other cars on the interstate, possibly miles away."
+//
+// Four source vehicles each hold a range of movie blocks; the receiving car
+// fetches them concurrently over multi-hop routes built by PBR (predicted
+// link lifetimes). We report per-source fetch completion and delay.
+//
+//   ./build/examples/highway_streaming
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+
+  sim::ScenarioConfig cfg;
+  cfg.mobility = sim::MobilityKind::kHighway;
+  cfg.highway.length = 8000.0;  // "possibly miles away"
+  cfg.highway.lanes_per_direction = 3;
+  cfg.vehicles_per_direction = 80;
+  cfg.comm_range_m = 250.0;
+  cfg.duration_s = 90.0;
+  cfg.protocol = "pbr";
+  // The built-in CBR generator is parked outside the run window; this
+  // example drives its own application traffic.
+  cfg.traffic.flows = 1;
+  cfg.traffic.start_s = 1000.0;
+  cfg.traffic.stop_s = 1001.0;
+
+  sim::Scenario scenario{cfg};
+  auto& simulator = scenario.simulator();
+
+  const net::NodeId receiver = 0;
+  // Sources at increasing distances ahead of the receiver. Discovery floods
+  // carry a 16-hop TTL (~3 km at 250 m radios), so "miles away" here means
+  // up to ~1.6 miles — picked from the actual population at scenario start.
+  const std::vector<double> target_distances = {800.0, 1400.0, 2000.0, 2600.0};
+  std::vector<net::NodeId> sources;
+  std::vector<double> initial_distance;
+  // Same carriageway as the receiver (ids below vehicles_per_direction):
+  // the movie blocks travel between cars cruising down the same interstate.
+  const std::size_t same_direction_limit = scenario.vehicle_count() / 2;
+  for (double want : target_distances) {
+    net::NodeId best = receiver;
+    double best_err = 1e18;
+    for (std::size_t v = 1; v < same_direction_limit; ++v) {
+      const auto id = static_cast<net::NodeId>(v);
+      if (std::find(sources.begin(), sources.end(), id) != sources.end()) {
+        continue;
+      }
+      const double d = (scenario.network().position(id) -
+                        scenario.network().position(receiver))
+                           .norm();
+      const double err = std::abs(d - want);
+      if (err < best_err) {
+        best_err = err;
+        best = id;
+      }
+    }
+    sources.push_back(best);
+    initial_distance.push_back((scenario.network().position(best) -
+                                scenario.network().position(receiver))
+                                   .norm());
+  }
+  constexpr int kBlocksPerSource = 40;
+  constexpr std::size_t kBlockBytes = 1024;
+
+  std::map<std::uint32_t, int> blocks_received;
+  std::map<std::uint32_t, double> last_arrival_s;
+  scenario.protocol_at(receiver).set_deliver_callback(
+      [&](const net::Packet& p) {
+        if (scenario.metrics().record_delivery(p.flow, p.seq, p.created_at,
+                                               simulator.now(), p.hops)) {
+          ++blocks_received[p.flow];
+          last_arrival_s[p.flow] = simulator.now().as_seconds();
+        }
+      });
+
+  // Each source streams its block range at 4 blocks/s starting at t = 5 s.
+  for (std::uint32_t s = 0; s < sources.size(); ++s) {
+    for (int b = 0; b < kBlocksPerSource; ++b) {
+      const double when = 5.0 + 0.25 * b;
+      simulator.schedule_at(core::SimTime::seconds(when), [&, s, b] {
+        scenario.metrics().record_originated();
+        scenario.protocol_at(sources[s]).originate(receiver, s,
+                                                   static_cast<std::uint32_t>(b),
+                                                   kBlockBytes);
+      });
+    }
+  }
+
+  scenario.run();
+
+  std::cout << "# Movie-block fetch over an 8 km interstate (PBR, 160 "
+               "vehicles, 4 sources x " << kBlocksPerSource << " blocks)\n\n";
+  sim::Table table({"source car", "initial distance m", "blocks delivered",
+                    "fetch ratio", "last block at s"});
+  for (std::uint32_t s = 0; s < sources.size(); ++s) {
+    table.add_row({std::to_string(sources[s]),
+                   sim::fmt(initial_distance[s], 0),
+                   sim::fmt_int(blocks_received[s]),
+                   sim::fmt(blocks_received[s] / double(kBlocksPerSource), 2),
+                   sim::fmt(last_arrival_s[s], 1)});
+  }
+  table.print(std::cout);
+
+  const auto r = scenario.report();
+  std::cout << "\noverall: " << scenario.metrics().delivered() << "/"
+            << scenario.metrics().originated() << " blocks ("
+            << sim::fmt(100.0 * r.pdr, 1) << "%), mean delay "
+            << sim::fmt(r.delay_ms_mean, 1) << " ms, mean path "
+            << sim::fmt(r.hops_mean, 1) << " hops, " << r.route_breaks
+            << " route breaks healed by prediction ("
+            << r.preemptive_rebuilds << " preemptive rebuilds)\n";
+  return 0;
+}

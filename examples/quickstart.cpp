@@ -1,0 +1,42 @@
+// Quickstart: build a 4 km two-lane bidirectional highway with 60 vehicles
+// per direction, run AODV and greedy over identical traffic, and print the
+// headline metrics. ~5 seconds of wall clock.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "sim/runner.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+
+  sim::ScenarioConfig cfg;
+  cfg.mobility = sim::MobilityKind::kHighway;
+  cfg.highway.length = 4000.0;
+  cfg.highway.lanes_per_direction = 2;
+  cfg.vehicles_per_direction = 60;
+  cfg.comm_range_m = 250.0;
+  cfg.duration_s = 60.0;
+  cfg.traffic.flows = 8;
+  cfg.traffic.rate_pps = 2.0;
+  cfg.traffic.start_s = 5.0;
+  cfg.traffic.stop_s = 50.0;
+
+  std::cout << "# Quickstart: AODV vs greedy on a 4 km highway\n\n";
+  sim::Table table({"protocol", "PDR", "delay ms", "hops",
+                    "ctrl+hello frames/delivered", "route breaks"});
+  for (const char* protocol : {"aodv", "greedy"}) {
+    cfg.protocol = protocol;
+    const sim::AggregateReport agg = sim::run_seeds(cfg, 3);
+    table.add_row({std::string(protocol), sim::fmt(agg.pdr.mean(), 3),
+                   sim::fmt(agg.delay_ms.mean(), 1),
+                   sim::fmt(agg.hops.mean(), 2),
+                   sim::fmt(agg.control_per_delivered.mean(), 2),
+                   sim::fmt(agg.route_breaks.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nSame seed => same flows: protocols are compared on identical "
+               "traffic.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The SUMO-trace workflow (DESIGN.md substitution S4): record a mobility
+// trace to the SUMO-like CSV schema, reload it from disk, and run a protocol
+// over the played-back mobility. Drop a converted real `fcd-output` trace
+// into the same schema (time,id,x,y,speed,angle; dense ids) and this code
+// path runs it unchanged.
+//
+//   ./build/examples/trace_workflow
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "core/rng.h"
+#include "mobility/idm_highway.h"
+#include "mobility/trace.h"
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+int main() {
+  using namespace vanet;
+
+  // 1. Generate 60 s of IDM highway mobility and record it at 2 Hz.
+  mobility::HighwayConfig hw;
+  hw.length = 3000.0;
+  core::Rng rng{99};
+  mobility::IdmHighwayModel model{hw};
+  model.populate(30, rng);
+  mobility::TraceRecorder recorder;
+  for (int step = 0; step <= 1200; ++step) {
+    if (step % 5 == 0) recorder.capture(step * 0.1, model);
+    model.step(0.1, rng);
+  }
+
+  // 2. Save to CSV and reload — the exact path a real SUMO trace would take.
+  const auto path =
+      std::filesystem::temp_directory_path() / "vanet_highway_trace.csv";
+  recorder.trace().save_csv_file(path.string());
+  const mobility::Trace loaded = mobility::Trace::load_csv_file(path.string());
+  std::cout << "# Trace workflow: wrote + reloaded " << path << "\n"
+            << "vehicles: " << loaded.vehicle_count()
+            << ", span: " << sim::fmt(loaded.end_time(), 1) << " s\n\n";
+
+  // 3. Run the same protocol over live IDM and over the played-back trace.
+  sim::Table table({"mobility source", "PDR", "delay ms", "hops"});
+  for (const bool use_trace : {false, true}) {
+    sim::ScenarioConfig cfg;
+    if (use_trace) {
+      cfg.mobility = sim::MobilityKind::kTrace;
+      cfg.trace = loaded;
+    } else {
+      cfg.mobility = sim::MobilityKind::kHighway;
+      cfg.highway = hw;
+      cfg.vehicles_per_direction = 30;
+    }
+    cfg.protocol = "greedy";
+    cfg.duration_s = 55.0;
+    cfg.traffic.flows = 6;
+    cfg.traffic.rate_pps = 1.0;
+    cfg.traffic.start_s = 5.0;
+    cfg.traffic.stop_s = 45.0;
+    cfg.traffic.min_pair_distance_m = 500.0;
+    cfg.seed = 7;
+    sim::Scenario s{cfg};
+    s.run();
+    const auto r = s.report();
+    table.add_row({use_trace ? "trace playback (CSV)" : "live IDM model",
+                   sim::fmt(r.pdr, 3), sim::fmt(r.delay_ms_mean, 1),
+                   sim::fmt(r.hops_mean, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe two rows differ only through trace sampling (2 Hz "
+               "waypoints, linear interpolation) and independent traffic "
+               "endpoints drawn over different populations.\n";
+  std::filesystem::remove(path);
+  return 0;
+}

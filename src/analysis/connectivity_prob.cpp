@@ -1,0 +1,41 @@
+#include "analysis/connectivity_prob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::analysis {
+
+double gap_bridgeable_probability(double lambda_veh_per_m, double range_m) {
+  VANET_ASSERT(lambda_veh_per_m >= 0.0 && range_m >= 0.0);
+  return 1.0 - std::exp(-lambda_veh_per_m * range_m);
+}
+
+double segment_connectivity_probability(double lambda_veh_per_m, double length_m,
+                                        double range_m) {
+  VANET_ASSERT(length_m > 0.0);
+  const double p_gap = gap_bridgeable_probability(lambda_veh_per_m, range_m);
+  const double expected_gaps = lambda_veh_per_m * length_m;
+  if (expected_gaps <= 0.0) return 0.0;  // empty road cannot relay
+  return std::pow(p_gap, expected_gaps);
+}
+
+double max_gap(std::vector<double> positions_m, double length_m) {
+  VANET_ASSERT(length_m > 0.0);
+  if (positions_m.empty()) return length_m;
+  std::sort(positions_m.begin(), positions_m.end());
+  double worst = positions_m.front() - 0.0;
+  for (std::size_t k = 1; k < positions_m.size(); ++k) {
+    worst = std::max(worst, positions_m[k] - positions_m[k - 1]);
+  }
+  worst = std::max(worst, length_m - positions_m.back());
+  return worst;
+}
+
+bool empirical_segment_connected(std::vector<double> positions_m,
+                                 double length_m, double range_m) {
+  return max_gap(std::move(positions_m), length_m) <= range_m;
+}
+
+}  // namespace vanet::analysis

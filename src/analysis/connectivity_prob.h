@@ -1,0 +1,34 @@
+// Road-segment connectivity probability (Sec. VII-B, CAR's model).
+//
+// CAR partitions each road segment into 5 m grid cells (one car length) and
+// scores the segment by the probability that consecutive vehicles are within
+// transmission range of each other. With Poisson traffic of linear density
+// lambda (veh/m), inter-vehicle gaps are Exp(lambda), so a single gap is
+// bridgeable with probability 1 - exp(-lambda r), and a segment expected to
+// hold n gaps connects end-to-end with probability (1 - exp(-lambda r))^n.
+// We also provide the exact empirical check on observed positions.
+#pragma once
+
+#include <vector>
+
+namespace vanet::analysis {
+
+/// P(one Exp(lambda) gap <= r).
+double gap_bridgeable_probability(double lambda_veh_per_m, double range_m);
+
+/// Analytic end-to-end connectivity of a `length_m` segment under Poisson
+/// traffic: (1 - e^{-lambda r})^{E[#gaps]} with E[#gaps] = lambda * length.
+double segment_connectivity_probability(double lambda_veh_per_m, double length_m,
+                                        double range_m);
+
+/// Exact empirical connectivity: true iff every consecutive gap of the
+/// sorted positions is <= range, and the ends of the segment are covered
+/// within range (i.e., a message can enter at 0 and leave at length).
+bool empirical_segment_connected(std::vector<double> positions_m,
+                                 double length_m, double range_m);
+
+/// Largest gap between consecutive positions (including virtual endpoints at
+/// 0 and length); the segment is connected iff this is <= range.
+double max_gap(std::vector<double> positions_m, double length_m);
+
+}  // namespace vanet::analysis

@@ -1,0 +1,48 @@
+#include "analysis/direction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::analysis {
+
+DirectionDecomposition decompose(core::Vec2 pos_a, core::Vec2 pos_b,
+                                 core::Vec2 vel_a, core::Vec2 vel_b) {
+  const core::Vec2 axis = (pos_b - pos_a);
+  VANET_ASSERT_MSG(axis.norm() > 0.0, "positions must be distinct");
+  const core::Vec2 along = axis.normalized();
+  const core::Vec2 perp{-along.y, along.x};
+  return DirectionDecomposition{
+      .a_along = vel_a.dot(along),
+      .b_along = vel_b.dot(along),
+      .a_perp = vel_a.dot(perp),
+      .b_perp = vel_b.dot(perp),
+  };
+}
+
+bool same_direction(const DirectionDecomposition& d) {
+  return d.a_along * d.b_along > 0.0 && d.a_perp * d.b_perp > 0.0;
+}
+
+bool same_direction(core::Vec2 pos_a, core::Vec2 pos_b, core::Vec2 vel_a,
+                    core::Vec2 vel_b) {
+  return same_direction(decompose(pos_a, pos_b, vel_a, vel_b));
+}
+
+bool similar_heading(core::Vec2 vel_a, core::Vec2 vel_b, double max_angle_rad) {
+  const double na = vel_a.norm();
+  const double nb = vel_b.norm();
+  if (na < 1e-9 || nb < 1e-9) return true;  // stationary: no constraint
+  const double cosine = vel_a.dot(vel_b) / (na * nb);
+  return std::acos(std::clamp(cosine, -1.0, 1.0)) <= max_angle_rad;
+}
+
+int velocity_group(core::Vec2 vel) {
+  if (std::abs(vel.x) >= std::abs(vel.y)) {
+    return vel.x >= 0.0 ? 0 : 2;
+  }
+  return vel.y >= 0.0 ? 1 : 3;
+}
+
+}  // namespace vanet::analysis

@@ -1,0 +1,45 @@
+// Velocity-direction analysis (Sec. IV-A.2, Fig. 4).
+//
+// The paper decomposes the velocities of two vehicles a and b onto the line
+// through their positions ("horizontal") and its perpendicular ("vertical").
+// The vehicles move in the same direction when both pairs of projections
+// agree in sign: v_ah * v_bh > 0 and v_av * v_bv > 0.
+//
+// Also provides the Taleb-style velocity-vector grouping (vehicles are binned
+// into four groups by heading) used by the mobility-based protocols.
+#pragma once
+
+#include "core/vec2.h"
+
+namespace vanet::analysis {
+
+/// Projections of both velocities onto the a->b axis (`along`) and its
+/// perpendicular (`perp`), per Fig. 4.
+struct DirectionDecomposition {
+  double a_along = 0.0;
+  double b_along = 0.0;
+  double a_perp = 0.0;
+  double b_perp = 0.0;
+};
+
+/// Decompose velocities onto the line through `pos_a` -> `pos_b`.
+/// Precondition: the two positions are distinct.
+DirectionDecomposition decompose(core::Vec2 pos_a, core::Vec2 pos_b,
+                                 core::Vec2 vel_a, core::Vec2 vel_b);
+
+/// The paper's same-direction test: both projection products positive.
+/// Zero projections (e.g. a parked vehicle) count as "not same direction".
+bool same_direction(const DirectionDecomposition& d);
+bool same_direction(core::Vec2 pos_a, core::Vec2 pos_b, core::Vec2 vel_a,
+                    core::Vec2 vel_b);
+
+/// A relaxed variant used by routing policies: headings within `max_angle_rad`
+/// of each other (ignores positions). Stationary vehicles match everything.
+bool similar_heading(core::Vec2 vel_a, core::Vec2 vel_b, double max_angle_rad);
+
+/// Taleb-style grouping: bins a velocity vector into one of four groups by
+/// heading quadrant (+x, +y, -x, -y dominant). Stationary vehicles map to
+/// group of their last heading via the zero vector convention: group 0.
+int velocity_group(core::Vec2 vel);
+
+}  // namespace vanet::analysis

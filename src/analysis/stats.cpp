@@ -1,0 +1,89 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::analysis {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> samples, double q) {
+  VANET_ASSERT(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double idx = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  VANET_ASSERT(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto k = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  k = std::clamp<std::ptrdiff_t>(k, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(k)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t k) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(k);
+}
+
+double Histogram::bin_hi(std::size_t k) const { return bin_lo(k + 1); }
+
+double Histogram::fraction(std::size_t k) const {
+  return total_ > 0
+             ? static_cast<double>(counts_.at(k)) / static_cast<double>(total_)
+             : 0.0;
+}
+
+}  // namespace vanet::analysis

@@ -1,0 +1,55 @@
+// Small statistics toolkit used by the metrics collector and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vanet::analysis {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci95_half_width() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th percentile (q in [0,1]) by linear interpolation; the input need not
+/// be sorted. Returns 0 for empty input.
+double percentile(std::vector<double> samples, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp into the boundary buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t k) const;
+  double bin_hi(std::size_t k) const;
+  /// Fraction of samples in bin k (0 when empty).
+  double fraction(std::size_t k) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vanet::analysis

@@ -1,0 +1,25 @@
+// Lightweight always-on invariant checking.
+//
+// Simulation invariants are cheap relative to the work they guard, so we keep
+// them enabled in all build types (unlike <cassert>).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vanet::core::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "VANET_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace vanet::core::detail
+
+#define VANET_ASSERT(expr)                                                       \
+  ((expr) ? static_cast<void>(0)                                                 \
+          : ::vanet::core::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define VANET_ASSERT_MSG(expr, msg)                                              \
+  ((expr) ? static_cast<void>(0)                                                 \
+          : ::vanet::core::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

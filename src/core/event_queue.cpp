@@ -1,0 +1,43 @@
+#include "core/event_queue.h"
+
+#include "core/assert.h"
+
+namespace vanet::core {
+
+EventHandle EventQueue::schedule(SimTime at, Callback fn) {
+  VANET_ASSERT_MSG(fn != nullptr, "scheduling a null callback");
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{cancelled};
+  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::run_next(SimTime& now) {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  // A const_cast-free pop: copy the callback out, then pop.
+  Entry entry = heap_.top();
+  heap_.pop();
+  VANET_ASSERT_MSG(entry.at >= now, "event scheduled in the past");
+  now = entry.at;
+  *entry.cancelled = true;  // mark as fired so the handle reports !pending()
+  ++dispatched_;
+  entry.fn();
+  return true;
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? SimTime::max() : heap_.top().at;
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+}  // namespace vanet::core

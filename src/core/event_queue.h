@@ -1,0 +1,79 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are dispatched in insertion order (FIFO), which
+// together with the integral SimTime makes whole simulations reproducible.
+// Scheduling returns a cancellable handle; cancellation is O(1) (lazy removal).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/sim_time.h"
+
+namespace vanet::core {
+
+/// Handle to a scheduled event. Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not yet fired. Safe to call repeatedly.
+  void cancel() {
+    if (auto s = state_.lock()) *s = true;
+  }
+
+  /// True while the event is still pending (scheduled and not cancelled/fired).
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !*s;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_{std::move(state)} {}
+  std::weak_ptr<bool> state_;  // true => cancelled
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `at`.
+  EventHandle schedule(SimTime at, Callback fn);
+
+  /// Pop and run the next non-cancelled event; returns false if empty.
+  /// `now` is updated to the event's timestamp before the callback runs.
+  bool run_next(SimTime& now);
+
+  /// Timestamp of the next pending event, or SimTime::max() when empty.
+  SimTime next_time() const;
+
+  bool empty() const;
+  std::size_t size() const { return heap_.size(); }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace vanet::core

@@ -1,0 +1,31 @@
+#include "core/log.h"
+
+#include <cstdio>
+
+namespace vanet::core {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+void emit(const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+
+void Log::error(const std::string& msg) {
+  if (g_level >= LogLevel::kError) emit("ERROR", msg);
+}
+void Log::warn(const std::string& msg) {
+  if (g_level >= LogLevel::kWarn) emit("WARN", msg);
+}
+void Log::info(const std::string& msg) {
+  if (g_level >= LogLevel::kInfo) emit("INFO", msg);
+}
+void Log::debug(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) emit("DEBUG", msg);
+}
+
+}  // namespace vanet::core

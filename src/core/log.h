@@ -1,0 +1,25 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (benchmarks dominate runtime); tests and examples
+// can raise the level. Output goes to stderr so bench tables on stdout stay
+// machine-parsable.
+#pragma once
+
+#include <string>
+
+namespace vanet::core {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  static void error(const std::string& msg);
+  static void warn(const std::string& msg);
+  static void info(const std::string& msg);
+  static void debug(const std::string& msg);
+};
+
+}  // namespace vanet::core

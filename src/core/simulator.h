@@ -1,0 +1,47 @@
+// The simulation driver: owns virtual time and the event queue.
+//
+// All model components hold a reference to one Simulator and schedule work
+// relative to `now()`. There are no global singletons; tests may run several
+// simulators side by side.
+#pragma once
+
+#include <functional>
+
+#include "core/event_queue.h"
+#include "core/sim_time.h"
+
+namespace vanet::core {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` after `delay` from now. Negative delays are clamped to now.
+  EventHandle schedule(SimTime delay, EventQueue::Callback fn);
+
+  /// Schedule `fn` at an absolute time (>= now).
+  EventHandle schedule_at(SimTime at, EventQueue::Callback fn);
+
+  /// Run until the queue drains or `end` is reached (events at `end` included).
+  void run_until(SimTime end);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Request that the run loop stops after the current event.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_dispatched() const { return queue_.dispatched(); }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  bool stopped_ = false;
+};
+
+}  // namespace vanet::core

@@ -1,0 +1,84 @@
+#include "core/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::core {
+
+SpatialGrid::SpatialGrid(double cell_size) : cell_size_{cell_size} {
+  VANET_ASSERT(cell_size > 0.0);
+}
+
+SpatialGrid::CellKey SpatialGrid::key_for(Vec2 pos) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(pos.x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(pos.y / cell_size_));
+  // Pack two 32-bit cell coordinates into one key.
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+void SpatialGrid::insert(Id id, Vec2 pos) {
+  VANET_ASSERT_MSG(!positions_.contains(id), "duplicate insert");
+  positions_[id] = pos;
+  cells_[key_for(pos)].push_back(id);
+}
+
+void SpatialGrid::remove(Id id) {
+  auto it = positions_.find(id);
+  VANET_ASSERT_MSG(it != positions_.end(), "remove of unknown id");
+  auto& bucket = cells_[key_for(it->second)];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  positions_.erase(it);
+}
+
+void SpatialGrid::update(Id id, Vec2 pos) {
+  auto it = positions_.find(id);
+  VANET_ASSERT_MSG(it != positions_.end(), "update of unknown id");
+  const CellKey old_key = key_for(it->second);
+  const CellKey new_key = key_for(pos);
+  if (old_key != new_key) {
+    auto& bucket = cells_[old_key];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+    cells_[new_key].push_back(id);
+  }
+  it->second = pos;
+}
+
+Vec2 SpatialGrid::position(Id id) const {
+  auto it = positions_.find(id);
+  VANET_ASSERT_MSG(it != positions_.end(), "position of unknown id");
+  return it->second;
+}
+
+std::vector<SpatialGrid::Id> SpatialGrid::query_radius(Vec2 center,
+                                                       double radius) const {
+  std::vector<Id> out;
+  const double r2 = radius * radius;
+  const auto lo_x = static_cast<std::int64_t>(std::floor((center.x - radius) / cell_size_));
+  const auto hi_x = static_cast<std::int64_t>(std::floor((center.x + radius) / cell_size_));
+  const auto lo_y = static_cast<std::int64_t>(std::floor((center.y - radius) / cell_size_));
+  const auto hi_y = static_cast<std::int64_t>(std::floor((center.y + radius) / cell_size_));
+  for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      const CellKey key = (cx << 32) ^ (cy & 0xffffffffLL);
+      auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (Id id : it->second) {
+        const Vec2 p = positions_.at(id);
+        if ((p - center).norm_sq() < r2) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SpatialGrid::Id> SpatialGrid::query_radius(Vec2 center, double radius,
+                                                       Id exclude) const {
+  std::vector<Id> out = query_radius(center, radius);
+  out.erase(std::remove(out.begin(), out.end(), exclude), out.end());
+  return out;
+}
+
+}  // namespace vanet::core

@@ -1,0 +1,48 @@
+// Uniform hash grid for radius queries over moving points.
+//
+// The wireless channel asks "who is within r of this transmitter?" once per
+// transmission; a grid with cell size ~= the query radius answers that in
+// O(points in the 3x3 neighborhood) instead of O(N).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/vec2.h"
+
+namespace vanet::core {
+
+class SpatialGrid {
+ public:
+  using Id = std::uint32_t;
+
+  /// `cell_size` should be on the order of the most common query radius.
+  explicit SpatialGrid(double cell_size);
+
+  /// Insert `id` at `pos`; `id` must not already be present.
+  void insert(Id id, Vec2 pos);
+  /// Move `id` to `pos`; `id` must be present.
+  void update(Id id, Vec2 pos);
+  /// Remove `id`; `id` must be present.
+  void remove(Id id);
+  bool contains(Id id) const { return positions_.contains(id); }
+  Vec2 position(Id id) const;
+
+  /// Ids strictly within `radius` of `center` (excluding `exclude` if given).
+  /// Results are sorted by id for determinism.
+  std::vector<Id> query_radius(Vec2 center, double radius) const;
+  std::vector<Id> query_radius(Vec2 center, double radius, Id exclude) const;
+
+  std::size_t size() const { return positions_.size(); }
+
+ private:
+  using CellKey = std::int64_t;
+  CellKey key_for(Vec2 pos) const;
+
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<Id>> cells_;
+  std::unordered_map<Id, Vec2> positions_;
+};
+
+}  // namespace vanet::core

@@ -1,0 +1,47 @@
+#include "mobility/constant_velocity.h"
+
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::mobility {
+
+VehicleId ConstantVelocityModel::add_vehicle(core::Vec2 pos, core::Vec2 heading,
+                                             double speed, double accel, int lane) {
+  VANET_ASSERT_MSG(heading.norm() > 0.0, "heading must be non-zero");
+  VehicleState s;
+  s.id = static_cast<VehicleId>(states_.size());
+  s.pos = pos;
+  s.heading = heading.normalized();
+  s.speed = speed;
+  s.accel = accel;
+  s.lane = lane;
+  states_.push_back(s);
+  return s.id;
+}
+
+void ConstantVelocityModel::step(double dt, core::Rng& /*rng*/) {
+  for (auto& s : states_) {
+    // Exact constant-acceleration kinematics; speed clamps at zero (vehicles
+    // do not reverse).
+    double new_speed = s.speed + s.accel * dt;
+    double travelled = 0.0;
+    if (new_speed < 0.0) {
+      // Decelerated to a stop partway through the step.
+      const double t_stop = s.accel != 0.0 ? -s.speed / s.accel : 0.0;
+      travelled = s.speed * t_stop + 0.5 * s.accel * t_stop * t_stop;
+      new_speed = 0.0;
+      s.accel = 0.0;
+    } else {
+      travelled = s.speed * dt + 0.5 * s.accel * dt * dt;
+    }
+    s.pos += s.heading * travelled;
+    s.speed = new_speed;
+    if (ring_length_) {
+      s.pos.x = std::fmod(s.pos.x, *ring_length_);
+      if (s.pos.x < 0.0) s.pos.x += *ring_length_;
+    }
+  }
+}
+
+}  // namespace vanet::mobility

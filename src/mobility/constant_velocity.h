@@ -1,0 +1,37 @@
+// Constant-velocity (optionally constant-acceleration) motion on a highway
+// ring or in free space.
+//
+// This is the model under which the paper's link-lifetime equations (Sec.
+// IV-A.1, Fig. 3) have closed forms, so the analytical experiments use it as
+// ground truth. The highway variant wraps positions modulo the road length to
+// keep density constant.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+
+namespace vanet::mobility {
+
+class ConstantVelocityModel final : public MobilityModel {
+ public:
+  /// Free-space motion: vehicles keep their initial velocity/acceleration.
+  ConstantVelocityModel() = default;
+
+  /// Highway ring of `length` metres: x wraps modulo length, y is preserved.
+  explicit ConstantVelocityModel(double ring_length) : ring_length_{ring_length} {}
+
+  /// Adds a vehicle and returns its id (assigned sequentially from 0).
+  VehicleId add_vehicle(core::Vec2 pos, core::Vec2 heading, double speed,
+                        double accel = 0.0, int lane = 0);
+
+  void step(double dt, core::Rng& rng) override;
+  const std::vector<VehicleState>& vehicles() const override { return states_; }
+
+ private:
+  std::vector<VehicleState> states_;
+  std::optional<double> ring_length_;
+};
+
+}  // namespace vanet::mobility

@@ -1,0 +1,178 @@
+#include "mobility/idm_highway.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::mobility {
+
+IdmHighwayModel::IdmHighwayModel(HighwayConfig cfg) : cfg_{cfg} {
+  VANET_ASSERT(cfg_.length > 0.0);
+  VANET_ASSERT(cfg_.lanes_per_direction >= 1);
+}
+
+VehicleId IdmHighwayModel::add_vehicle(int direction, int lane, double s,
+                                       double desired_speed) {
+  VANET_ASSERT(direction == 0 || (direction == 1 && cfg_.bidirectional));
+  VANET_ASSERT(lane >= 0 && lane < cfg_.lanes_per_direction);
+  VANET_ASSERT(s >= 0.0 && s < cfg_.length);
+  Car c;
+  c.s = s;
+  c.speed = std::max(0.0, desired_speed * 0.8);  // enter below free-flow speed
+  c.desired_speed = desired_speed;
+  c.lane = lane;
+  c.direction = direction;
+  const auto id = static_cast<VehicleId>(cars_.size());
+  cars_.push_back(c);
+  VehicleState blank;
+  blank.id = id;
+  states_.push_back(blank);
+  sync_world_state(id);
+  return id;
+}
+
+void IdmHighwayModel::populate(int per_direction, core::Rng& rng) {
+  const int directions = cfg_.bidirectional ? 2 : 1;
+  for (int d = 0; d < directions; ++d) {
+    for (int i = 0; i < per_direction; ++i) {
+      const double s = rng.uniform(0.0, cfg_.length);
+      const int lane =
+          static_cast<int>(rng.uniform_int(0, cfg_.lanes_per_direction - 1));
+      const double v0 = std::max(
+          5.0, rng.normal(cfg_.idm.desired_speed, cfg_.idm.desired_speed_stddev));
+      add_vehicle(d, lane, s, v0);
+    }
+  }
+}
+
+void IdmHighwayModel::sync_world_state(VehicleId id) {
+  const Car& c = cars_[id];
+  VehicleState& w = states_[id];
+  w.id = id;
+  if (c.direction == 0) {
+    w.pos = {c.s, c.lane * cfg_.lane_width};
+    w.heading = {1.0, 0.0};
+  } else {
+    w.pos = {cfg_.length - c.s, -(cfg_.median_gap + c.lane * cfg_.lane_width)};
+    w.heading = {-1.0, 0.0};
+  }
+  w.speed = c.speed;
+  w.accel = c.accel;
+  w.lane = c.direction * cfg_.lanes_per_direction + c.lane;
+}
+
+double IdmHighwayModel::idm_accel(double v, double v0, double gap,
+                                  double leader_speed) const {
+  const IdmParams& p = cfg_.idm;
+  const double free_term = 1.0 - std::pow(v / std::max(v0, 0.1), 4.0);
+  if (gap < 0.0) return p.max_accel * free_term;  // free road
+  const double dv = v - leader_speed;
+  const double s_star =
+      p.min_gap + std::max(0.0, v * p.time_headway +
+                                    v * dv / (2.0 * std::sqrt(p.max_accel *
+                                                              p.comfortable_decel)));
+  const double g = std::max(gap, 0.1);
+  return p.max_accel * (free_term - (s_star / g) * (s_star / g));
+}
+
+bool IdmHighwayModel::leader_of(VehicleId self, int lane, double s, double& gap,
+                                double& leader_speed) const {
+  const Car& me = cars_[self];
+  double best = cfg_.length + 1.0;
+  bool found = false;
+  for (VehicleId other = 0; other < cars_.size(); ++other) {
+    if (other == self) continue;
+    const Car& o = cars_[other];
+    if (o.direction != me.direction || o.lane != lane) continue;
+    double ahead = o.s - s;
+    if (ahead <= 0.0) ahead += cfg_.length;  // ring wrap
+    if (ahead < best) {
+      best = ahead;
+      leader_speed = o.speed;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  gap = best - cfg_.idm.vehicle_length;
+  return true;
+}
+
+bool IdmHighwayModel::follower_of(VehicleId self, int lane, double s, double& gap,
+                                  double& follower_speed) const {
+  const Car& me = cars_[self];
+  double best = cfg_.length + 1.0;
+  bool found = false;
+  for (VehicleId other = 0; other < cars_.size(); ++other) {
+    if (other == self) continue;
+    const Car& o = cars_[other];
+    if (o.direction != me.direction || o.lane != lane) continue;
+    double behind = s - o.s;
+    if (behind <= 0.0) behind += cfg_.length;
+    if (behind < best) {
+      best = behind;
+      follower_speed = o.speed;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  gap = best - cfg_.idm.vehicle_length;
+  return true;
+}
+
+void IdmHighwayModel::maybe_change_lane(VehicleId id, core::Rng& rng) {
+  Car& c = cars_[id];
+  double cur_gap = -1.0, cur_leader_speed = 0.0;
+  leader_of(id, c.lane, c.s, cur_gap, cur_leader_speed);
+  for (const int target : {c.lane - 1, c.lane + 1}) {
+    if (target < 0 || target >= cfg_.lanes_per_direction) continue;
+    double new_gap = -1.0, new_leader_speed = 0.0;
+    const bool has_leader = leader_of(id, target, c.s, new_gap, new_leader_speed);
+    double back_gap = -1.0, follower_speed = 0.0;
+    const bool has_follower =
+        follower_of(id, target, c.s, back_gap, follower_speed);
+    // Safety: both gaps in the target lane must exceed a speed-dependent margin.
+    const double safe_ahead = cfg_.idm.min_gap + 0.5 * c.speed;
+    const double safe_behind = cfg_.idm.min_gap + 0.5 * follower_speed;
+    if (has_leader && new_gap < safe_ahead) continue;
+    if (has_follower && back_gap < safe_behind) continue;
+    // Incentive: noticeably more headway than the current lane offers.
+    const double cur = cur_gap < 0.0 ? cfg_.length : cur_gap;
+    const double alt = !has_leader ? cfg_.length : new_gap;
+    if (alt > 1.2 * cur + cfg_.idm.min_gap) {
+      c.lane = target;
+      return;
+    }
+  }
+  (void)rng;
+}
+
+void IdmHighwayModel::step(double dt, core::Rng& rng) {
+  VANET_ASSERT(dt > 0.0);
+  // Phase 1: compute accelerations against the *current* snapshot.
+  for (VehicleId id = 0; id < cars_.size(); ++id) {
+    Car& c = cars_[id];
+    double gap = -1.0, leader_speed = 0.0;
+    if (!leader_of(id, c.lane, c.s, gap, leader_speed)) gap = -1.0;
+    c.accel = idm_accel(c.speed, c.desired_speed, gap, leader_speed);
+    // Bound braking at a physical limit (emergency braking).
+    c.accel = std::max(c.accel, -3.0 * cfg_.idm.comfortable_decel);
+  }
+  // Phase 2: integrate.
+  for (VehicleId id = 0; id < cars_.size(); ++id) {
+    Car& c = cars_[id];
+    const double new_speed = std::max(0.0, c.speed + c.accel * dt);
+    c.s += 0.5 * (c.speed + new_speed) * dt;
+    c.speed = new_speed;
+    if (c.s >= cfg_.length) c.s -= cfg_.length;
+  }
+  // Phase 3: occasional lane changes.
+  for (VehicleId id = 0; id < cars_.size(); ++id) {
+    if (cfg_.lanes_per_direction > 1 && rng.bernoulli(cfg_.lane_change_prob)) {
+      maybe_change_lane(id, rng);
+    }
+  }
+  for (VehicleId id = 0; id < cars_.size(); ++id) sync_world_state(id);
+}
+
+}  // namespace vanet::mobility

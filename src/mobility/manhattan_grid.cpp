@@ -1,0 +1,134 @@
+#include "mobility/manhattan_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::mobility {
+
+ManhattanGridModel::ManhattanGridModel(ManhattanConfig cfg) : cfg_{cfg} {
+  VANET_ASSERT(cfg_.streets_x >= 2 && cfg_.streets_y >= 2);
+  VANET_ASSERT(cfg_.block > 0.0);
+}
+
+core::Vec2 ManhattanGridModel::dir_vec(int dir) {
+  switch (dir) {
+    case 0: return {1.0, 0.0};
+    case 1: return {-1.0, 0.0};
+    case 2: return {0.0, 1.0};
+    default: return {0.0, -1.0};
+  }
+}
+
+bool ManhattanGridModel::target_in_grid(int ix, int iy, int dir) const {
+  switch (dir) {
+    case 0: return ix + 1 < cfg_.streets_x;
+    case 1: return ix - 1 >= 0;
+    case 2: return iy + 1 < cfg_.streets_y;
+    default: return iy - 1 >= 0;
+  }
+}
+
+int ManhattanGridModel::choose_turn(int ix, int iy, int incoming_dir,
+                                    core::Rng& rng) const {
+  // Relative options: straight keeps incoming_dir; left/right are the two
+  // perpendicular directions. (For +x: left=+y, right=-y, and so on.)
+  static constexpr int kLeft[4] = {2, 3, 1, 0};
+  static constexpr int kRight[4] = {3, 2, 0, 1};
+  static constexpr int kReverse[4] = {1, 0, 3, 2};
+  struct Option {
+    int dir;
+    double weight;
+  };
+  std::vector<Option> options;
+  const double straight_w =
+      std::max(0.0, 1.0 - cfg_.turn_prob_left - cfg_.turn_prob_right);
+  if (target_in_grid(ix, iy, incoming_dir))
+    options.push_back({incoming_dir, straight_w});
+  if (target_in_grid(ix, iy, kLeft[incoming_dir]))
+    options.push_back({kLeft[incoming_dir], cfg_.turn_prob_left});
+  if (target_in_grid(ix, iy, kRight[incoming_dir]))
+    options.push_back({kRight[incoming_dir], cfg_.turn_prob_right});
+  double total = 0.0;
+  for (const auto& o : options) total += o.weight;
+  if (options.empty() || total <= 0.0) return kReverse[incoming_dir];
+  double pick = rng.uniform(0.0, total);
+  for (const auto& o : options) {
+    if (pick < o.weight) return o.dir;
+    pick -= o.weight;
+  }
+  return options.back().dir;
+}
+
+void ManhattanGridModel::set_target_from(Car& c, int ix, int iy) {
+  const core::Vec2 d = dir_vec(c.dir);
+  c.target = {(ix + static_cast<int>(d.x)) * cfg_.block,
+              (iy + static_cast<int>(d.y)) * cfg_.block};
+}
+
+VehicleId ManhattanGridModel::add_vehicle(int ix, int iy, int dir, double speed) {
+  VANET_ASSERT(ix >= 0 && ix < cfg_.streets_x && iy >= 0 && iy < cfg_.streets_y);
+  VANET_ASSERT(dir >= 0 && dir < 4);
+  VANET_ASSERT_MSG(target_in_grid(ix, iy, dir), "initial direction leaves the grid");
+  Car c;
+  c.pos = {ix * cfg_.block, iy * cfg_.block};
+  c.dir = dir;
+  c.speed = std::max(1.0, speed);
+  set_target_from(c, ix, iy);
+  cars_.push_back(c);
+  VehicleState w;
+  w.id = static_cast<VehicleId>(states_.size());
+  states_.push_back(w);
+  // Fill world mirror.
+  VehicleState& s = states_.back();
+  s.pos = c.pos;
+  s.heading = dir_vec(c.dir);
+  s.speed = c.speed;
+  return s.id;
+}
+
+void ManhattanGridModel::populate(int count, core::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    int ix = 0, iy = 0, dir = 0;
+    do {
+      ix = static_cast<int>(rng.uniform_int(0, cfg_.streets_x - 1));
+      iy = static_cast<int>(rng.uniform_int(0, cfg_.streets_y - 1));
+      dir = static_cast<int>(rng.uniform_int(0, 3));
+    } while (!target_in_grid(ix, iy, dir));
+    const double v = std::max(2.0, rng.normal(cfg_.speed_mean, cfg_.speed_stddev));
+    add_vehicle(ix, iy, dir, v);
+  }
+}
+
+void ManhattanGridModel::step(double dt, core::Rng& rng) {
+  VANET_ASSERT(dt > 0.0);
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    Car& c = cars_[i];
+    double remaining = c.speed * dt;
+    // A vehicle may cross more than one intersection per step at high dt.
+    int hops = 0;
+    while (remaining > 1e-9 && hops < 16) {
+      const double dist = (c.target - c.pos).norm();
+      if (remaining < dist) {
+        c.pos += dir_vec(c.dir) * remaining;
+        remaining = 0.0;
+      } else {
+        c.pos = c.target;
+        remaining -= dist;
+        const int ix = static_cast<int>(std::lround(c.pos.x / cfg_.block));
+        const int iy = static_cast<int>(std::lround(c.pos.y / cfg_.block));
+        c.dir = choose_turn(ix, iy, c.dir, rng);
+        set_target_from(c, ix, iy);
+        ++hops;
+      }
+    }
+    VehicleState& w = states_[i];
+    w.pos = c.pos;
+    w.heading = dir_vec(c.dir);
+    w.speed = c.speed;
+    w.accel = 0.0;
+  }
+}
+
+}  // namespace vanet::mobility

@@ -1,0 +1,51 @@
+#include "mobility/mobility_manager.h"
+
+#include "core/assert.h"
+
+namespace vanet::mobility {
+
+MobilityManager::MobilityManager(core::Simulator& sim,
+                                 std::unique_ptr<MobilityModel> model,
+                                 core::Rng& rng, core::SimTime tick)
+    : sim_{sim}, model_{std::move(model)}, rng_{rng}, tick_{tick} {
+  VANET_ASSERT(model_ != nullptr);
+  VANET_ASSERT(tick_ > core::SimTime::zero());
+  rebuild_index();
+}
+
+void MobilityManager::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule(tick_, [this] { on_tick(); });
+}
+
+void MobilityManager::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void MobilityManager::on_tick() {
+  if (!running_) return;
+  model_->step(tick_.as_seconds(), rng_);
+  rebuild_index();
+  for (const auto& fn : listeners_) fn(sim_.now());
+  pending_ = sim_.schedule(tick_, [this] { on_tick(); });
+}
+
+void MobilityManager::rebuild_index() {
+  index_.clear();
+  const auto& vs = model_->vehicles();
+  for (std::size_t i = 0; i < vs.size(); ++i) index_[vs[i].id] = i;
+}
+
+const VehicleState& MobilityManager::state(VehicleId id) const {
+  auto it = index_.find(id);
+  VANET_ASSERT_MSG(it != index_.end(), "unknown vehicle id");
+  return model_->vehicles()[it->second];
+}
+
+void MobilityManager::add_tick_listener(std::function<void(core::SimTime)> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+}  // namespace vanet::mobility

@@ -1,0 +1,55 @@
+// Drives a MobilityModel from simulator events and indexes the result.
+//
+// On every tick the manager steps the model, refreshes the id -> state index,
+// and invokes registered listeners (the network uses one to update its
+// spatial grid and check link breaks).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "mobility/mobility_model.h"
+
+namespace vanet::mobility {
+
+class MobilityManager {
+ public:
+  /// The manager draws per-step randomness from `rng` (a dedicated stream).
+  MobilityManager(core::Simulator& sim, std::unique_ptr<MobilityModel> model,
+                  core::Rng& rng,
+                  core::SimTime tick = core::SimTime::millis(100));
+
+  /// Begin periodic stepping (first step after one tick).
+  void start();
+  void stop();
+
+  MobilityModel& model() { return *model_; }
+  const MobilityModel& model() const { return *model_; }
+
+  const VehicleState& state(VehicleId id) const;
+  bool has_vehicle(VehicleId id) const { return index_.contains(id); }
+  const std::vector<VehicleState>& vehicles() const { return model_->vehicles(); }
+  core::SimTime tick_interval() const { return tick_; }
+
+  /// Called after every step with the new simulation time.
+  void add_tick_listener(std::function<void(core::SimTime)> fn);
+
+ private:
+  void on_tick();
+  void rebuild_index();
+
+  core::Simulator& sim_;
+  std::unique_ptr<MobilityModel> model_;
+  core::Rng& rng_;
+  core::SimTime tick_;
+  core::EventHandle pending_;
+  bool running_ = false;
+  std::unordered_map<VehicleId, std::size_t> index_;
+  std::vector<std::function<void(core::SimTime)>> listeners_;
+};
+
+}  // namespace vanet::mobility

@@ -1,0 +1,37 @@
+// Interface implemented by every mobility model.
+//
+// A model owns the vehicle states and advances them in fixed steps; the
+// MobilityManager drives stepping from simulator events and republishes
+// positions to the spatial index.
+#pragma once
+
+#include <vector>
+
+#include "core/assert.h"
+#include "core/rng.h"
+#include "mobility/vehicle.h"
+
+namespace vanet::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advance all vehicles by `dt` seconds.
+  virtual void step(double dt, core::Rng& rng) = 0;
+
+  /// Current states; ids are stable and unique across the model's lifetime.
+  virtual const std::vector<VehicleState>& vehicles() const = 0;
+
+  /// Linear-scan lookup by id (models keep vehicles() small enough that the
+  /// hot path — MobilityManager — maintains its own index instead).
+  const VehicleState& state(VehicleId id) const {
+    for (const auto& v : vehicles()) {
+      if (v.id == id) return v;
+    }
+    VANET_ASSERT_MSG(false, "unknown vehicle id");
+    return vehicles().front();  // unreachable
+  }
+};
+
+}  // namespace vanet::mobility

@@ -1,0 +1,3 @@
+// Intentionally empty: VehicleState is a plain aggregate. This TU anchors the
+// header into the mobility library so IDEs index it with the right flags.
+#include "mobility/vehicle.h"

@@ -1,0 +1,26 @@
+// Kinematic state of one vehicle.
+#pragma once
+
+#include <cstdint>
+
+#include "core/vec2.h"
+
+namespace vanet::mobility {
+
+using VehicleId = std::uint32_t;
+
+/// Instantaneous kinematic state. `heading` is a unit vector; scalar `speed`
+/// and `accel` are measured along it, so `velocity() = heading * speed`.
+struct VehicleState {
+  VehicleId id = 0;
+  core::Vec2 pos;
+  core::Vec2 heading{1.0, 0.0};
+  double speed = 0.0;   ///< m/s, non-negative
+  double accel = 0.0;   ///< m/s^2 along heading (signed)
+  int lane = 0;         ///< model-specific lane index
+
+  core::Vec2 velocity() const { return heading * speed; }
+  core::Vec2 acceleration() const { return heading * accel; }
+};
+
+}  // namespace vanet::mobility

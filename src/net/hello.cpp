@@ -1,0 +1,116 @@
+#include "net/hello.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/assert.h"
+
+namespace vanet::net {
+
+const NeighborInfo* NeighborTable::find(NodeId id) const {
+  auto it = map_.find(id);
+  return it != map_.end() ? &it->second : nullptr;
+}
+
+std::vector<NeighborInfo> NeighborTable::snapshot() const {
+  std::vector<NeighborInfo> out;
+  out.reserve(map_.size());
+  for (const auto& [id, info] : map_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const NeighborInfo& a, const NeighborInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::expire(core::SimTime now,
+                                          core::SimTime expiry) {
+  std::vector<NodeId> gone;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (now - it->second.last_heard > expiry) {
+      gone.push_back(it->first);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(gone.begin(), gone.end());
+  return gone;
+}
+
+HelloService::HelloService(Network& net, core::Rng& rng, HelloConfig cfg)
+    : net_{net}, rng_{rng}, cfg_{cfg} {
+  VANET_ASSERT(cfg_.interval > core::SimTime::zero());
+  VANET_ASSERT(cfg_.expiry >= cfg_.interval);
+}
+
+void HelloService::start() {
+  VANET_ASSERT_MSG(!started_, "HelloService::start called twice");
+  started_ = true;
+  for (NodeId id : net_.node_ids()) {
+    tables_.try_emplace(id);
+    // Desynchronise initial beacons across one interval.
+    const double offset = rng_.uniform(0.0, cfg_.interval.as_seconds());
+    net_.simulator().schedule(core::SimTime::seconds(offset),
+                              [this, id] { send_beacon(id); });
+    net_.simulator().schedule(cfg_.expiry, [this, id] { sweep(id); });
+  }
+}
+
+void HelloService::send_beacon(NodeId id) {
+  auto header = std::make_shared<HelloHeader>();
+  header->pos = net_.position(id);
+  header->vel = net_.velocity(id);
+  header->acc = net_.acceleration(id);
+  header->rsu = net_.is_rsu(id);
+
+  Packet p;
+  p.kind = PacketKind::kHello;
+  p.origin = id;
+  p.destination = kBroadcastId;
+  p.rx = kBroadcastId;
+  p.ttl = 1;
+  p.size_bytes = cfg_.beacon_bytes;
+  p.created_at = net_.simulator().now();
+  p.header = std::move(header);
+  net_.send(id, std::move(p));
+
+  const double jitter =
+      rng_.uniform(-cfg_.jitter_fraction, cfg_.jitter_fraction);
+  const core::SimTime next = cfg_.interval * (1.0 + jitter);
+  net_.simulator().schedule(next, [this, id] { send_beacon(id); });
+}
+
+void HelloService::sweep(NodeId id) {
+  auto& table = tables_[id];
+  const auto gone = table.expire(net_.simulator().now(), cfg_.expiry);
+  auto cb = loss_callbacks_.find(id);
+  if (cb != loss_callbacks_.end() && cb->second) {
+    for (NodeId lost : gone) cb->second(lost);
+  }
+  net_.simulator().schedule(cfg_.interval, [this, id] { sweep(id); });
+}
+
+void HelloService::on_frame(NodeId self, const Packet& p) {
+  const auto* h = p.header_as<HelloHeader>();
+  VANET_ASSERT_MSG(h != nullptr, "hello frame without HelloHeader");
+  NeighborInfo info;
+  info.id = p.origin;
+  info.pos = h->pos;
+  info.vel = h->vel;
+  info.acc = h->acc;
+  info.rsu = h->rsu;
+  info.last_heard = net_.simulator().now();
+  tables_[self].update(info);
+}
+
+const NeighborTable& HelloService::table(NodeId id) const {
+  auto it = tables_.find(id);
+  VANET_ASSERT_MSG(it != tables_.end(), "no table for node");
+  return it->second;
+}
+
+void HelloService::set_loss_callback(NodeId id,
+                                     std::function<void(NodeId)> fn) {
+  loss_callbacks_[id] = std::move(fn);
+}
+
+}  // namespace vanet::net

@@ -1,0 +1,99 @@
+// Periodic hello beacons and per-node neighbor tables.
+//
+// Mobility-, geographic- and probability-based protocols all require
+// "neighboring awareness" (Sec. IV-A): each node periodically broadcasts its
+// position / velocity / acceleration, and peers keep a soft-state table that
+// expires silently-departed neighbors. The beacons ride the real MAC, so
+// their cost shows up as the control overhead Table I charges these
+// categories with — and they collide like any other frame.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/sim_time.h"
+#include "core/vec2.h"
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace vanet::net {
+
+struct HelloConfig {
+  core::SimTime interval = core::SimTime::seconds(1.0);
+  double jitter_fraction = 0.1;   ///< uniform +/- jitter on each beacon
+  core::SimTime expiry = core::SimTime::seconds(3.0);
+  std::size_t beacon_bytes = 32;  ///< id + position + velocity + accel
+};
+
+struct HelloHeader final : Header {
+  core::Vec2 pos;
+  core::Vec2 vel;
+  core::Vec2 acc;
+  bool rsu = false;
+};
+
+struct NeighborInfo {
+  NodeId id = 0;
+  core::Vec2 pos;
+  core::Vec2 vel;
+  core::Vec2 acc;
+  bool rsu = false;
+  core::SimTime last_heard{};
+
+  /// Dead-reckoned position at `now` from the last beacon.
+  core::Vec2 predicted_pos(core::SimTime now) const {
+    return pos + vel * (now - last_heard).as_seconds();
+  }
+};
+
+class NeighborTable {
+ public:
+  void update(const NeighborInfo& info) { map_[info.id] = info; }
+  const NeighborInfo* find(NodeId id) const;
+  bool contains(NodeId id) const { return map_.contains(id); }
+  std::size_t size() const { return map_.size(); }
+
+  /// Snapshot sorted by id (deterministic iteration for protocols).
+  std::vector<NeighborInfo> snapshot() const;
+
+  /// Remove entries older than `expiry`; returns the expired ids.
+  std::vector<NodeId> expire(core::SimTime now, core::SimTime expiry);
+
+ private:
+  std::unordered_map<NodeId, NeighborInfo> map_;
+};
+
+/// One service instance manages beacons + tables for every node in the
+/// network. Frames are tagged PacketKind::kHello; the routing layer forwards
+/// them to `on_frame`.
+class HelloService {
+ public:
+  HelloService(Network& net, core::Rng& rng, HelloConfig cfg = {});
+
+  /// Start beaconing for all nodes currently in the network.
+  void start();
+
+  const NeighborTable& table(NodeId id) const;
+  const HelloConfig& config() const { return cfg_; }
+
+  /// Called by the routing layer when a hello frame arrives at `self`.
+  void on_frame(NodeId self, const Packet& p);
+
+  /// Observer for neighbor-expiry events at node `id` (route maintenance).
+  void set_loss_callback(NodeId id, std::function<void(NodeId lost)> fn);
+
+ private:
+  void send_beacon(NodeId id);
+  void sweep(NodeId id);
+
+  Network& net_;
+  core::Rng& rng_;
+  HelloConfig cfg_;
+  std::unordered_map<NodeId, NeighborTable> tables_;
+  std::unordered_map<NodeId, std::function<void(NodeId)>> loss_callbacks_;
+  bool started_ = false;
+};
+
+}  // namespace vanet::net

@@ -1,0 +1,322 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "core/assert.h"
+
+namespace vanet::net {
+
+Network::Network(core::Simulator& sim, mobility::MobilityManager* mobility,
+                 std::unique_ptr<PropagationModel> propagation, core::Rng& rng,
+                 NetworkConfig cfg)
+    : sim_{sim},
+      mobility_{mobility},
+      propagation_{std::move(propagation)},
+      rng_{rng},
+      cfg_{cfg},
+      grid_{std::max(50.0, propagation_->max_range())} {
+  VANET_ASSERT(propagation_ != nullptr);
+  VANET_ASSERT(cfg_.bitrate_bps > 0.0);
+  VANET_ASSERT(cfg_.interference_range_factor >= 1.0);
+  if (mobility_ != nullptr) {
+    mobility_->add_tick_listener([this](core::SimTime) { on_mobility_tick(); });
+  }
+}
+
+Network::NodeImpl& Network::impl(NodeId id) {
+  VANET_ASSERT_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id];
+}
+
+const Network::NodeImpl& Network::impl(NodeId id) const {
+  VANET_ASSERT_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id];
+}
+
+NodeId Network::add_vehicle_node(mobility::VehicleId vid) {
+  VANET_ASSERT_MSG(mobility_ != nullptr, "vehicle node requires mobility");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  VANET_ASSERT_MSG(id == vid,
+                   "vehicle nodes must be added in vehicle-id order before RSUs");
+  NodeImpl node;
+  node.id = id;
+  node.vehicle = vid;
+  nodes_.push_back(std::move(node));
+  grid_.insert(id, mobility_->state(vid).pos);
+  return id;
+}
+
+NodeId Network::add_rsu(core::Vec2 pos) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  NodeImpl node;
+  node.id = id;
+  node.rsu = true;
+  node.fixed_pos = pos;
+  nodes_.push_back(std::move(node));
+  grid_.insert(id, pos);
+  return id;
+}
+
+void Network::connect_backbone() {
+  backbone_.clear();
+  for (const auto& n : nodes_) {
+    if (n.rsu) backbone_.push_back(n.id);
+  }
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> out(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) out[i] = nodes_[i].id;
+  return out;
+}
+
+std::vector<NodeId> Network::rsu_ids() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.rsu) out.push_back(n.id);
+  }
+  return out;
+}
+
+bool Network::is_rsu(NodeId id) const { return impl(id).rsu; }
+
+core::Vec2 Network::position(NodeId id) const {
+  const NodeImpl& n = impl(id);
+  return n.rsu ? n.fixed_pos : mobility_->state(n.vehicle).pos;
+}
+
+core::Vec2 Network::velocity(NodeId id) const {
+  const NodeImpl& n = impl(id);
+  return n.rsu ? core::Vec2{} : mobility_->state(n.vehicle).velocity();
+}
+
+core::Vec2 Network::acceleration(NodeId id) const {
+  const NodeImpl& n = impl(id);
+  return n.rsu ? core::Vec2{} : mobility_->state(n.vehicle).acceleration();
+}
+
+void Network::set_receive_handler(NodeId id, ReceiveHandler fn) {
+  impl(id).on_receive = std::move(fn);
+}
+
+void Network::set_unicast_fail_handler(NodeId id, UnicastFailHandler fn) {
+  impl(id).on_unicast_fail = std::move(fn);
+}
+
+void Network::on_mobility_tick() {
+  for (const auto& n : nodes_) {
+    if (!n.rsu) grid_.update(n.id, mobility_->state(n.vehicle).pos);
+  }
+}
+
+core::SimTime Network::frame_duration(const Packet& p) const {
+  const double bits =
+      static_cast<double>((p.size_bytes + cfg_.phy_overhead_bytes) * 8);
+  return core::SimTime::seconds(bits / cfg_.bitrate_bps);
+}
+
+core::SimTime Network::random_backoff(core::Rng& rng) const {
+  const auto slots = rng.uniform_int(0, cfg_.contention_window - 1);
+  return cfg_.slot_time * slots;
+}
+
+void Network::count_sent(const Packet& p) {
+  ++counters_.frames_sent;
+  counters_.bytes_sent += p.size_bytes + cfg_.phy_overhead_bytes;
+  switch (p.kind) {
+    case PacketKind::kData: ++counters_.data_frames_sent; break;
+    case PacketKind::kControl: ++counters_.control_frames_sent; break;
+    case PacketKind::kHello: ++counters_.hello_frames_sent; break;
+  }
+}
+
+void Network::send(NodeId from, Packet p) {
+  NodeImpl& node = impl(from);
+  p.tx = from;
+  p.uid = next_uid_++;
+  ++counters_.frames_enqueued;
+  if (node.queue.size() >= cfg_.queue_capacity) {
+    ++counters_.frames_dropped_queue;
+    return;
+  }
+  node.queue.push_back(QueuedFrame{std::move(p), 0});
+  if (!node.transmitting && !node.attempt_pending) {
+    schedule_attempt(node, random_backoff(rng_));
+  }
+}
+
+void Network::schedule_attempt(NodeImpl& node, core::SimTime delay) {
+  node.attempt_pending = true;
+  const NodeId id = node.id;
+  sim_.schedule(delay, [this, id] { attempt_transmission(id); });
+}
+
+core::SimTime Network::channel_busy_until(core::Vec2 pos) const {
+  const core::SimTime now = sim_.now();
+  const double sense_range =
+      propagation_->max_range() * cfg_.interference_range_factor;
+  core::SimTime busy = core::SimTime::zero();
+  for (const auto& tx : active_) {
+    if (tx.end <= now) continue;
+    if ((tx.pos - pos).norm() <= sense_range) busy = std::max(busy, tx.end);
+  }
+  return busy;
+}
+
+void Network::prune_active() {
+  // Keep recently finished transmissions long enough for overlap checks:
+  // the longest frame at the configured bitrate is well under 50 ms.
+  const core::SimTime horizon = sim_.now() - core::SimTime::millis(50);
+  std::erase_if(active_, [&](const ActiveTx& t) { return t.end < horizon; });
+}
+
+void Network::attempt_transmission(NodeId id) {
+  NodeImpl& node = impl(id);
+  node.attempt_pending = false;
+  if (node.transmitting || node.queue.empty()) return;
+  const core::Vec2 pos = position(id);
+  const core::SimTime busy_until = channel_busy_until(pos);
+  const core::SimTime now = sim_.now();
+  if (busy_until > now) {
+    schedule_attempt(node,
+                     busy_until - now + cfg_.slot_time + random_backoff(rng_));
+    return;
+  }
+  prune_active();
+  const Packet& p = node.queue.front().packet;
+  const core::SimTime duration = frame_duration(p);
+  active_.push_back(ActiveTx{id, now, now + duration, pos});
+  node.transmitting = true;
+  node.tx_until = now + duration;
+  count_sent(p);
+  sim_.schedule(duration, [this, id] { finish_transmission(id); });
+}
+
+void Network::finish_transmission(NodeId id) {
+  NodeImpl& node = impl(id);
+  VANET_ASSERT(node.transmitting);
+  node.transmitting = false;
+  VANET_ASSERT(!node.queue.empty());
+  QueuedFrame& frame = node.queue.front();
+  const Packet packet = frame.packet;
+
+  // Locate our ActiveTx entry (unique: a node transmits one frame at a time).
+  const core::SimTime now = sim_.now();
+  const ActiveTx* self_tx = nullptr;
+  for (const auto& t : active_) {
+    if (t.tx == id && t.end == now) {
+      self_tx = &t;
+      break;
+    }
+  }
+  VANET_ASSERT_MSG(self_tx != nullptr, "missing active transmission record");
+  const ActiveTx tx = *self_tx;
+
+  const double interference_range =
+      propagation_->max_range() * cfg_.interference_range_factor;
+  bool intended_received = false;
+
+  for (NodeId cand : grid_.query_radius(tx.pos, propagation_->max_range(), id)) {
+    NodeImpl& rx_node = impl(cand);
+    // Half duplex: a node transmitting during our frame cannot receive it.
+    if (rx_node.transmitting ||
+        (rx_node.tx_until > tx.start && rx_node.tx_until <= now)) {
+      continue;
+    }
+    const core::Vec2 rx_pos = position(cand);
+    const double distance = (rx_pos - tx.pos).norm();
+    if (!propagation_->try_receive(distance, rng_)) {
+      ++counters_.receptions_faded;
+      continue;
+    }
+    // Collision: any other transmission overlapping ours, audible at rx.
+    bool collided = false;
+    for (const auto& other : active_) {
+      if (other.tx == id && other.start == tx.start) continue;
+      if (other.start < tx.end && other.end > tx.start &&
+          (other.pos - rx_pos).norm() <= interference_range) {
+        collided = true;
+        break;
+      }
+    }
+    if (collided) {
+      ++counters_.receptions_collided;
+      continue;
+    }
+    if (packet.rx != kBroadcastId && packet.rx != cand) continue;
+    ++counters_.receptions_ok;
+    if (cand == packet.rx) intended_received = true;
+    if (rx_node.on_receive) rx_node.on_receive(packet);
+  }
+
+  // Unicast retry / failure bookkeeping.
+  bool keep_frame = false;
+  if (packet.rx != kBroadcastId && !intended_received) {
+    if (frame.attempts < cfg_.unicast_retry_limit) {
+      ++frame.attempts;
+      ++counters_.unicast_retries;
+      keep_frame = true;
+    } else {
+      ++counters_.unicast_failures;
+      if (node.on_unicast_fail) node.on_unicast_fail(packet);
+    }
+  }
+  if (!keep_frame) node.queue.pop_front();
+  if (!node.queue.empty() && !node.attempt_pending) {
+    schedule_attempt(node, cfg_.slot_time + random_backoff(rng_));
+  }
+}
+
+void Network::backbone_send(NodeId from_rsu, NodeId to_rsu, Packet p) {
+  VANET_ASSERT_MSG(backbone_connected(from_rsu, to_rsu),
+                   "backbone_send between unconnected nodes");
+  p.tx = from_rsu;
+  p.rx = to_rsu;
+  p.uid = next_uid_++;
+  ++counters_.backbone_frames;
+  sim_.schedule(cfg_.backbone_delay, [this, to_rsu, p = std::move(p)] {
+    const NodeImpl& dst = impl(to_rsu);
+    if (dst.on_receive) dst.on_receive(p);
+  });
+}
+
+bool Network::backbone_connected(NodeId a, NodeId b) const {
+  const bool a_in = std::find(backbone_.begin(), backbone_.end(), a) != backbone_.end();
+  const bool b_in = std::find(backbone_.begin(), backbone_.end(), b) != backbone_.end();
+  return a_in && b_in && a != b;
+}
+
+std::vector<NodeId> Network::nodes_within(NodeId id, double range) const {
+  return grid_.query_radius(position(id), range, id);
+}
+
+bool Network::reachable(NodeId from, NodeId to, double range) const {
+  if (from == to) return true;
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<NodeId> frontier{from};
+  visited[from] = true;
+  const bool backbone_live = !backbone_.empty();
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    auto visit = [&](NodeId v) {
+      if (v == to) return true;
+      if (!visited[v]) {
+        visited[v] = true;
+        frontier.push_back(v);
+      }
+      return false;
+    };
+    for (NodeId v : nodes_within(u, range)) {
+      if (visit(v)) return true;
+    }
+    if (backbone_live && impl(u).rsu) {
+      for (NodeId v : backbone_) {
+        if (v != u && visit(v)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace vanet::net

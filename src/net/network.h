@@ -1,0 +1,170 @@
+// The wireless network: nodes, channel and a contention MAC.
+//
+// MAC model (a deliberately small slice of 802.11p, documented in DESIGN.md):
+//  - per-node FIFO transmit queue with bounded capacity;
+//  - carrier sense before transmitting; busy channel defers the attempt by a
+//    random backoff (uniform slots), idle channel starts after a short jitter;
+//  - a frame occupies the channel for (bytes + phy overhead) * 8 / bitrate;
+//  - a receiver within `max_range` of the transmitter decodes the frame iff
+//    (a) the propagation model's per-reception draw succeeds,
+//    (b) no other transmission audible at the receiver overlapped in time
+//        (otherwise: collision), and
+//    (c) the receiver was not itself transmitting (half duplex).
+//  - unicast frames are retried up to `unicast_retry_limit` times when the
+//    intended receiver failed to decode; exhaustion invokes the node's
+//    unicast-failure handler (this models the missing link-layer ACK).
+//
+// RSUs are static nodes; `connect_backbone()` joins all RSUs with an ideal
+// wired network (fixed small delay, no loss) per Sec. V.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "core/spatial_grid.h"
+#include "core/vec2.h"
+#include "mobility/mobility_manager.h"
+#include "net/packet.h"
+#include "net/propagation.h"
+
+namespace vanet::net {
+
+struct NetworkConfig {
+  double bitrate_bps = 6e6;                          ///< 802.11p base rate
+  core::SimTime slot_time = core::SimTime::micros(13);
+  int contention_window = 32;                        ///< backoff slots
+  int unicast_retry_limit = 3;
+  std::size_t queue_capacity = 128;
+  std::size_t phy_overhead_bytes = 40;               ///< preamble + MAC header
+  core::SimTime backbone_delay = core::SimTime::millis(2);
+  /// Interference reaches this multiple of max_range (>= 1).
+  double interference_range_factor = 1.0;
+};
+
+/// Channel/MAC accounting, aggregated over all nodes.
+struct NetCounters {
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_sent = 0;         ///< transmissions started
+  std::uint64_t frames_dropped_queue = 0;
+  std::uint64_t receptions_ok = 0;
+  std::uint64_t receptions_collided = 0;
+  std::uint64_t receptions_faded = 0;    ///< propagation draw failed
+  std::uint64_t unicast_retries = 0;
+  std::uint64_t unicast_failures = 0;
+  std::uint64_t backbone_frames = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t control_frames_sent = 0;
+  std::uint64_t hello_frames_sent = 0;
+};
+
+class Network {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&)>;
+  using UnicastFailHandler = std::function<void(const Packet&)>;
+
+  /// `mobility` may be null for fully static topologies (tests).
+  Network(core::Simulator& sim, mobility::MobilityManager* mobility,
+          std::unique_ptr<PropagationModel> propagation, core::Rng& rng,
+          NetworkConfig cfg = {});
+
+  /// Adds a node tracking the given vehicle. Node id == vehicle id; vehicle
+  /// nodes must be added before any RSU so the id spaces align.
+  NodeId add_vehicle_node(mobility::VehicleId vid);
+  /// Adds a static roadside unit at `pos`.
+  NodeId add_rsu(core::Vec2 pos);
+  /// Wire all current RSUs into one ideal backbone.
+  void connect_backbone();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::vector<NodeId> node_ids() const;
+  std::vector<NodeId> rsu_ids() const;
+  bool is_rsu(NodeId id) const;
+
+  core::Vec2 position(NodeId id) const;
+  /// Zero for RSUs.
+  core::Vec2 velocity(NodeId id) const;
+  core::Vec2 acceleration(NodeId id) const;
+
+  void set_receive_handler(NodeId id, ReceiveHandler fn);
+  void set_unicast_fail_handler(NodeId id, UnicastFailHandler fn);
+
+  /// Enqueue a frame at `from`'s MAC. Sets p.tx = from and assigns p.uid.
+  void send(NodeId from, Packet p);
+
+  /// Ideal wired transfer between two backbone-connected RSUs.
+  void backbone_send(NodeId from_rsu, NodeId to_rsu, Packet p);
+  bool backbone_connected(NodeId a, NodeId b) const;
+
+  double nominal_range() const { return propagation_->nominal_range(); }
+  double max_range() const { return propagation_->max_range(); }
+  const PropagationModel& propagation() const { return *propagation_; }
+
+  /// Ground-truth candidates within `range` of node `id` (sorted by id).
+  /// Used by scenario wiring and oracle baselines, not by protocols.
+  std::vector<NodeId> nodes_within(NodeId id, double range) const;
+
+  /// Ground-truth multi-hop reachability: BFS over the `range`-disk graph
+  /// (RSU backbone links included). Oracle for experiment calibration — a
+  /// routing protocol can never deliver between nodes this returns false for.
+  bool reachable(NodeId from, NodeId to, double range) const;
+
+  const NetCounters& counters() const { return counters_; }
+  core::Simulator& simulator() { return sim_; }
+
+ private:
+  struct QueuedFrame {
+    Packet packet;
+    int attempts = 0;
+  };
+  struct NodeImpl {
+    NodeId id = 0;
+    bool rsu = false;
+    core::Vec2 fixed_pos;  ///< RSU position
+    mobility::VehicleId vehicle = 0;
+    ReceiveHandler on_receive;
+    UnicastFailHandler on_unicast_fail;
+    std::deque<QueuedFrame> queue;
+    bool transmitting = false;
+    core::SimTime tx_until{};
+    bool attempt_pending = false;
+  };
+  struct ActiveTx {
+    NodeId tx = 0;
+    core::SimTime start{};
+    core::SimTime end{};
+    core::Vec2 pos;
+  };
+
+  NodeImpl& impl(NodeId id);
+  const NodeImpl& impl(NodeId id) const;
+  void on_mobility_tick();
+  void schedule_attempt(NodeImpl& node, core::SimTime delay);
+  void attempt_transmission(NodeId id);
+  void finish_transmission(NodeId id);
+  /// Latest end time of any transmission audible at `pos`, or zero time.
+  core::SimTime channel_busy_until(core::Vec2 pos) const;
+  core::SimTime frame_duration(const Packet& p) const;
+  void prune_active();
+  core::SimTime random_backoff(core::Rng& rng) const;
+  void count_sent(const Packet& p);
+
+  core::Simulator& sim_;
+  mobility::MobilityManager* mobility_;
+  std::unique_ptr<PropagationModel> propagation_;
+  core::Rng& rng_;
+  NetworkConfig cfg_;
+  std::vector<NodeImpl> nodes_;
+  core::SpatialGrid grid_;
+  std::vector<ActiveTx> active_;
+  std::vector<NodeId> backbone_;
+  std::uint64_t next_uid_ = 1;
+  NetCounters counters_;
+};
+
+}  // namespace vanet::net

@@ -1,0 +1,14 @@
+#include "net/packet.h"
+
+namespace vanet::net {
+
+std::string_view to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kData: return "data";
+    case PacketKind::kControl: return "control";
+    case PacketKind::kHello: return "hello";
+  }
+  return "?";
+}
+
+}  // namespace vanet::net

@@ -1,0 +1,65 @@
+// Packets exchanged between nodes.
+//
+// A Packet models one L3 PDU. Protocol-specific headers derive from Header
+// and ride along as an immutable shared payload, so copying a Packet (which
+// the channel does once per receiver) is cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/sim_time.h"
+
+namespace vanet::net {
+
+using NodeId = std::uint32_t;
+
+/// L2/L3 broadcast address.
+inline constexpr NodeId kBroadcastId = 0xffffffffu;
+
+enum class PacketKind : std::uint8_t {
+  kData,     ///< application payload
+  kControl,  ///< protocol control (RREQ/RREP/RERR/updates/probes)
+  kHello,    ///< neighbor beacons
+};
+
+std::string_view to_string(PacketKind kind);
+
+/// Base class for protocol-specific headers (dynamic_cast dispatch).
+struct Header {
+  virtual ~Header() = default;
+
+ protected:
+  Header() = default;
+  Header(const Header&) = default;
+  Header& operator=(const Header&) = default;
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kControl;
+
+  NodeId origin = 0;                ///< L3 source
+  NodeId destination = kBroadcastId;///< L3 destination (broadcast for floods)
+  NodeId tx = 0;                    ///< L2 transmitter of this frame
+  NodeId rx = kBroadcastId;         ///< L2 intended receiver (broadcast ok)
+
+  std::uint32_t flow = 0;           ///< application flow id (data packets)
+  std::uint32_t seq = 0;            ///< per-flow sequence / control sequence
+  int ttl = 32;
+  int hops = 0;                     ///< L3 hops travelled so far
+  std::size_t size_bytes = 64;
+
+  core::SimTime created_at{};       ///< L3 origination time (for delay)
+  std::uint64_t uid = 0;            ///< unique per send() call (frame id)
+
+  std::shared_ptr<const Header> header;
+
+  /// Typed view of the protocol header; nullptr when it is another type.
+  template <typename H>
+  const H* header_as() const {
+    return dynamic_cast<const H*>(header.get());
+  }
+};
+
+}  // namespace vanet::net

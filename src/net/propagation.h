@@ -1,0 +1,66 @@
+// Radio propagation models.
+//
+// The channel asks a model two questions: how far can a frame possibly reach
+// (candidate cutoff), and did this particular frame at this distance make it
+// (a per-reception draw). The unit-disk model is deterministic and matches
+// the paper's analytical range r; log-normal shadowing implements the
+// probabilistic link of Sec. VII-A (REAR's premise).
+#pragma once
+
+#include <memory>
+
+#include "analysis/signal.h"
+#include "core/rng.h"
+
+namespace vanet::net {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Hard cutoff: receptions beyond this distance are impossible.
+  virtual double max_range() const = 0;
+
+  /// The "communication range r" protocols should plan with (for unit disk
+  /// the disk radius; for shadowing the distance of 50% receipt probability).
+  virtual double nominal_range() const = 0;
+
+  /// One reception draw at `distance` metres.
+  virtual bool try_receive(double distance, core::Rng& rng) const = 0;
+
+  /// Analytic receipt probability at `distance`.
+  virtual double receipt_probability(double distance) const = 0;
+};
+
+/// Deterministic disk: received iff distance <= range.
+class UnitDiskModel final : public PropagationModel {
+ public:
+  explicit UnitDiskModel(double range_m);
+
+  double max_range() const override { return range_; }
+  double nominal_range() const override { return range_; }
+  bool try_receive(double distance, core::Rng& rng) const override;
+  double receipt_probability(double distance) const override;
+
+ private:
+  double range_;
+};
+
+/// Log-distance path loss with log-normal shadowing (see analysis/signal.h).
+class LogNormalShadowingModel final : public PropagationModel {
+ public:
+  explicit LogNormalShadowingModel(analysis::LogNormalParams params = {});
+
+  double max_range() const override { return max_range_; }
+  double nominal_range() const override { return nominal_range_; }
+  bool try_receive(double distance, core::Rng& rng) const override;
+  double receipt_probability(double distance) const override;
+  const analysis::LogNormalParams& params() const { return params_; }
+
+ private:
+  analysis::LogNormalParams params_;
+  double nominal_range_;
+  double max_range_;
+};
+
+}  // namespace vanet::net

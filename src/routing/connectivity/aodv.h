@@ -1,0 +1,18 @@
+// AODV [6] (Sec. III-B): on-demand unicast routing with RREQ flooding,
+// first-wins RREP, hop-count metric, and RERR-based maintenance.
+//
+// This is exactly the default policy of OnDemandBase; the class exists to
+// give the baseline its own name and registry entry.
+#pragma once
+
+#include "routing/on_demand.h"
+
+namespace vanet::routing {
+
+class AodvProtocol final : public OnDemandBase {
+ public:
+  std::string_view name() const override { return "aodv"; }
+  Category category() const override { return Category::kConnectivity; }
+};
+
+}  // namespace vanet::routing

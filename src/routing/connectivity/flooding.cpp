@@ -1,0 +1,39 @@
+#include "routing/connectivity/flooding.h"
+
+namespace vanet::routing {
+
+bool FloodingProtocol::originate(net::NodeId dst, std::uint32_t flow,
+                                 std::uint32_t seq, std::size_t bytes) {
+  net::Packet p = make_data(dst, flow, seq, bytes);
+  p.ttl = kFloodTtl;
+  seen_.seen_or_insert(flood_key(p));
+  broadcast(p);
+  after_rebroadcast(p);
+  return true;
+}
+
+void FloodingProtocol::handle_frame(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kData) return;
+  if (seen_.seen_or_insert(flood_key(p))) {
+    on_duplicate_overheard(p);
+    return;
+  }
+  if (p.destination == self()) {
+    deliver(p);
+    return;  // the destination absorbs the packet
+  }
+  if (p.ttl <= 1) {
+    ++events().data_dropped_ttl;
+    return;
+  }
+  net::Packet fwd = p;
+  fwd.ttl -= 1;
+  fwd.hops += 1;
+  ++events().data_forwarded;
+  schedule(jitter(kRebroadcastJitterMs), [this, fwd]() mutable {
+    broadcast(std::move(fwd));
+  });
+  after_rebroadcast(p);
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,41 @@
+// Pure flooding (Sec. III-A).
+//
+// The source broadcasts the data packet; every node rebroadcasts each packet
+// the first time it hears it, until TTL expires or the whole network has a
+// copy. Simple and robust at low density, but it generates the duplicate
+// load that causes the broadcast storm of [5] — bench_fig2 measures exactly
+// that.
+#pragma once
+
+#include "routing/dup_cache.h"
+#include "routing/protocol.h"
+
+namespace vanet::routing {
+
+class FloodingProtocol : public RoutingProtocol {
+ public:
+  bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
+                 std::size_t bytes) override;
+  void handle_frame(const net::Packet& p) override;
+
+  std::string_view name() const override { return "flooding"; }
+  Category category() const override { return Category::kConnectivity; }
+
+ protected:
+  /// Hook for Biswas: called after this node rebroadcasts `p`, and when a
+  /// duplicate of an already-seen packet is overheard.
+  virtual void after_rebroadcast(const net::Packet& p) { (void)p; }
+  virtual void on_duplicate_overheard(const net::Packet& p) { (void)p; }
+
+  static std::uint64_t flood_key(const net::Packet& p) {
+    return DupCache::key(p.origin, p.flow, p.seq);
+  }
+
+  static constexpr int kFloodTtl = 16;
+  static constexpr double kRebroadcastJitterMs = 15.0;
+
+ private:
+  DupCache seen_;
+};
+
+}  // namespace vanet::routing

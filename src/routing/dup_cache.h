@@ -1,0 +1,46 @@
+// Bounded duplicate-suppression cache (FIFO eviction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace vanet::routing {
+
+class DupCache {
+ public:
+  explicit DupCache(std::size_t capacity = 4096) : capacity_{capacity} {}
+
+  /// Returns true when `key` was already present; inserts it otherwise.
+  bool seen_or_insert(std::uint64_t key) {
+    if (set_.contains(key)) return true;
+    set_.insert(key);
+    order_.push_back(key);
+    if (order_.size() > capacity_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return false;
+  }
+
+  bool contains(std::uint64_t key) const { return set_.contains(key); }
+  std::size_t size() const { return set_.size(); }
+
+  /// Mix three 32-bit identifiers into one cache key.
+  static std::uint64_t key(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    return mix(mix(mix(a) ^ b) ^ c);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> set_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,24 @@
+#include "routing/geographic/greedy.h"
+
+#include <algorithm>
+
+#include "analysis/link_lifetime.h"
+
+namespace vanet::routing {
+
+double GreedyProtocol::score_candidate(const net::NeighborInfo& cand,
+                                       double progress,
+                                       double distance) const {
+  (void)distance;
+  const auto lifetime = analysis::link_lifetime_2d(
+      network().position(self()), network().velocity(self()),
+      network().acceleration(self()), cand.predicted_pos(now()), cand.vel,
+      cand.acc, network().nominal_range(),
+      /*horizon=*/30.0, /*dt=*/0.25);
+  const double life = lifetime.value_or(30.0);
+  // Progress dominates; the lifetime factor (capped at 10 s) breaks the
+  // classic greedy tie toward links that will survive the transfer.
+  return progress * std::clamp(life, 0.5, 10.0);
+}
+
+}  // namespace vanet::routing

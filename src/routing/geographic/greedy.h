@@ -1,0 +1,23 @@
+// Predictive directional greedy routing (Gong [23] / Lochert [24], Sec. VI-B).
+//
+// Forward aggressively toward the destination: among neighbors that make
+// progress, prefer the one combining large progress with a long predicted
+// link lifetime — "the directions of vehicles' movement are taken into
+// consideration ... it helps to select long-lived links".
+#pragma once
+
+#include "routing/geographic/geo_base.h"
+
+namespace vanet::routing {
+
+class GreedyProtocol final : public GeoUnicastBase {
+ public:
+  std::string_view name() const override { return "greedy"; }
+  Category category() const override { return Category::kGeographic; }
+
+ protected:
+  double score_candidate(const net::NeighborInfo& cand, double progress,
+                         double distance) const override;
+};
+
+}  // namespace vanet::routing

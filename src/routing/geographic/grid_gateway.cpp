@@ -1,0 +1,75 @@
+#include "routing/geographic/grid_gateway.h"
+
+#include <cmath>
+#include <memory>
+
+namespace vanet::routing {
+
+double GridGatewayProtocol::cell() const {
+  return cell_size_ > 0.0 ? cell_size_ : 0.8 * network().nominal_range();
+}
+
+core::Vec2 GridGatewayProtocol::cell_center(core::Vec2 pos) const {
+  const double size = cell();
+  const double cx = std::floor(pos.x / size) * size + size / 2.0;
+  const double cy = std::floor(pos.y / size) * size + size / 2.0;
+  return {cx, cy};
+}
+
+bool GridGatewayProtocol::is_gateway() const {
+  const core::Vec2 here = network().position(self());
+  const core::Vec2 center = cell_center(here);
+  const double my_dist = (here - center).norm();
+  for (const auto& nbr : neighbors().snapshot()) {
+    const core::Vec2 pos = nbr.predicted_pos(now());
+    if (cell_center(pos) != center) continue;  // different cell
+    const double d = (pos - center).norm();
+    if (d < my_dist || (d == my_dist && nbr.id < self())) return false;
+  }
+  return true;
+}
+
+bool GridGatewayProtocol::inside_corridor(const GridHeader& h) const {
+  const core::Vec2 center = cell_center(network().position(self()));
+  return core::distance_to_segment(center, h.src_pos, h.dst_pos) <=
+         corridor_half_width_;
+}
+
+bool GridGatewayProtocol::originate(net::NodeId dst, std::uint32_t flow,
+                                    std::uint32_t seq, std::size_t bytes) {
+  auto h = std::make_shared<GridHeader>();
+  h->src_pos = network().position(self());
+  h->dst_pos = network().position(dst);  // location service
+
+  net::Packet p = make_data(dst, flow, seq, bytes);
+  p.ttl = kGridTtl;
+  p.header = std::move(h);
+  seen_.seen_or_insert(DupCache::key(p.origin, p.flow, p.seq));
+  broadcast(std::move(p));
+  return true;
+}
+
+void GridGatewayProtocol::handle_frame(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kData) return;
+  const auto* h = p.header_as<GridHeader>();
+  if (h == nullptr) return;
+  if (seen_.seen_or_insert(DupCache::key(p.origin, p.flow, p.seq))) return;
+  if (p.destination == self()) {
+    deliver(p);
+    return;
+  }
+  // Members read and process but do not retransmit; only gateways relay,
+  // and only inside the corridor toward the destination.
+  if (!is_gateway() || !inside_corridor(*h)) return;
+  if (p.ttl <= 1) {
+    ++events().data_dropped_ttl;
+    return;
+  }
+  net::Packet fwd = p;
+  fwd.ttl -= 1;
+  fwd.hops += 1;
+  ++events().data_forwarded;
+  schedule(jitter(kJitterMs), [this, fwd]() mutable { broadcast(std::move(fwd)); });
+}
+
+}  // namespace vanet::routing

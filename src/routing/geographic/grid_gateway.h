@@ -1,0 +1,56 @@
+// Grid/gateway routing (CarNet [20], LORA-DCBF [26], Sec. VI).
+//
+// The plane is partitioned into fixed grid cells; within each cell a single
+// *gateway* vehicle relays packets while ordinary members stay silent — "all
+// the members in the zone can read and process the packet; they do not
+// retransmit". The gateway is elected locally: the vehicle closest to the
+// cell centre among the cell's members known from the neighbor table
+// (deterministic tie-break by id). Forwarding is additionally confined to a
+// corridor toward the destination (LORA-DCBF's directional flooding).
+#pragma once
+
+#include "core/vec2.h"
+#include "routing/dup_cache.h"
+#include "routing/protocol.h"
+
+namespace vanet::routing {
+
+struct GridHeader final : net::Header {
+  core::Vec2 src_pos;
+  core::Vec2 dst_pos;
+};
+
+class GridGatewayProtocol final : public RoutingProtocol {
+ public:
+  /// `cell_size` <= 0 selects automatic sizing: 0.8 x the radio's nominal
+  /// range, so that neighboring gateways can always hear each other (a cell
+  /// larger than the radio range breaks the gateway relay chain).
+  explicit GridGatewayProtocol(double cell_size = 0.0,
+                               double corridor_half_width = 600.0)
+      : cell_size_{cell_size}, corridor_half_width_{corridor_half_width} {}
+
+  bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
+                 std::size_t bytes) override;
+  void handle_frame(const net::Packet& p) override;
+
+  std::string_view name() const override { return "grid"; }
+  Category category() const override { return Category::kGeographic; }
+  bool wants_hello() const override { return true; }
+
+  /// Exposed for tests: gateway election result for this node right now.
+  bool is_gateway() const;
+
+ private:
+  double cell() const;
+  core::Vec2 cell_center(core::Vec2 pos) const;
+  bool inside_corridor(const GridHeader& h) const;
+
+  double cell_size_;
+  double corridor_half_width_;
+  DupCache seen_;
+
+  static constexpr int kGridTtl = 20;
+  static constexpr double kJitterMs = 15.0;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,49 @@
+#include "routing/geographic/zone.h"
+
+#include <memory>
+
+namespace vanet::routing {
+
+bool ZoneProtocol::originate(net::NodeId dst, std::uint32_t flow,
+                             std::uint32_t seq, std::size_t bytes) {
+  auto h = std::make_shared<ZoneHeader>();
+  h->src_pos = network().position(self());
+  h->dst_pos = network().position(dst);  // location service
+  h->half_width = half_width_;
+
+  net::Packet p = make_data(dst, flow, seq, bytes);
+  p.ttl = kZoneTtl;
+  p.header = std::move(h);
+  seen_.seen_or_insert(DupCache::key(p.origin, p.flow, p.seq));
+  broadcast(std::move(p));
+  return true;
+}
+
+bool ZoneProtocol::inside_zone(const ZoneHeader& h) const {
+  const core::Vec2 here = network().position(self());
+  return core::distance_to_segment(here, h.src_pos, h.dst_pos) <= h.half_width;
+}
+
+void ZoneProtocol::handle_frame(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kData) return;
+  const auto* h = p.header_as<ZoneHeader>();
+  if (h == nullptr) return;
+  if (seen_.seen_or_insert(DupCache::key(p.origin, p.flow, p.seq))) return;
+  if (p.destination == self()) {
+    deliver(p);
+    return;
+  }
+  // Outside the corridor: drop silently — that is the whole point of zones.
+  if (!inside_zone(*h)) return;
+  if (p.ttl <= 1) {
+    ++events().data_dropped_ttl;
+    return;
+  }
+  net::Packet fwd = p;
+  fwd.ttl -= 1;
+  fwd.hops += 1;
+  ++events().data_forwarded;
+  schedule(jitter(kJitterMs), [this, fwd]() mutable { broadcast(std::move(fwd)); });
+}
+
+}  // namespace vanet::routing

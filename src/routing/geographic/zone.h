@@ -1,0 +1,42 @@
+// Zone routing (Bronsted & Kristensen [22], Sec. VI-B).
+//
+// A zone is a geographic corridor between the source and the destination;
+// vehicles inside the zone rebroadcast, vehicles outside drop. The effect
+// (Fig. 6) is flooding confined to the section of road that actually leads
+// to the destination.
+#pragma once
+
+#include "core/vec2.h"
+#include "routing/dup_cache.h"
+#include "routing/protocol.h"
+
+namespace vanet::routing {
+
+struct ZoneHeader final : net::Header {
+  core::Vec2 src_pos;
+  core::Vec2 dst_pos;
+  double half_width = 250.0;  ///< corridor half width, m
+};
+
+class ZoneProtocol final : public RoutingProtocol {
+ public:
+  explicit ZoneProtocol(double half_width = 250.0) : half_width_{half_width} {}
+
+  bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
+                 std::size_t bytes) override;
+  void handle_frame(const net::Packet& p) override;
+
+  std::string_view name() const override { return "zone"; }
+  Category category() const override { return Category::kGeographic; }
+
+ private:
+  bool inside_zone(const ZoneHeader& h) const;
+
+  double half_width_;
+  DupCache seen_;
+
+  static constexpr int kZoneTtl = 16;
+  static constexpr double kJitterMs = 15.0;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,52 @@
+// DRR — differentiated reliable routing in hybrid VANETs (He et al. [17],
+// Sec. V-B).
+//
+// Vehicles forward greedily; when a path breaks or no progress is possible,
+// a roadside unit takes over as a *virtual equivalent node* (VEN): the
+// packet is handed to the nearest RSU, crosses the wired backbone to the RSU
+// closest to the destination, and is delivered (or buffered until the
+// destination drives into range). Per the paper, vehicle positions are
+// "synchronized to all related RSU instantly", which our ideal location
+// service models.
+#pragma once
+
+#include <vector>
+
+#include "routing/geographic/geo_base.h"
+
+namespace vanet::routing {
+
+class DrrProtocol final : public GeoUnicastBase {
+ public:
+  std::string_view name() const override { return "drr"; }
+  Category category() const override { return Category::kInfrastructure; }
+
+ protected:
+  double score_candidate(const net::NeighborInfo& cand, double progress,
+                         double distance) const override;
+  void no_candidate(net::Packet p) override;
+  void forward_geo(net::Packet p) override;
+
+ private:
+  struct Buffered {
+    net::Packet packet;
+    core::SimTime deadline{};
+  };
+
+  void rsu_forward(net::Packet p);
+  /// RSU whose position is closest to `pos`; kBroadcastId when none exist.
+  net::NodeId rsu_nearest(core::Vec2 pos) const;
+  /// RSU in this node's neighbor table, or nullptr.
+  const net::NeighborInfo* rsu_neighbor() const;
+  void buffer_packet(net::Packet p);
+  void retry_buffered();
+
+  std::vector<Buffered> buffer_;
+  bool retry_scheduled_ = false;
+
+  static constexpr double kBufferSeconds = 10.0;
+  static constexpr double kRetryIntervalSeconds = 1.0;
+  static constexpr std::size_t kBufferCap = 64;
+};
+
+}  // namespace vanet::routing

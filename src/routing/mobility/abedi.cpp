@@ -1,0 +1,24 @@
+#include "routing/mobility/abedi.h"
+
+#include "analysis/direction.h"
+
+namespace vanet::routing {
+
+LinkEval AbediProtocol::evaluate_link(const RreqHeader& h) const {
+  LinkEval ev;
+  ev.lifetime = predict_link_lifetime(h);
+  ev.usable = ev.lifetime > 0.3;
+  // Primary: same direction as the flow's source.
+  const bool same_as_source = analysis::similar_heading(
+      network().velocity(self()), h.origin_vel, kMaxHeadingDeltaRad);
+  ev.cost = same_as_source ? 1.0 : kDirectionPenalty;
+  return ev;
+}
+
+bool AbediProtocol::path_better(const PathMetric& a, const PathMetric& b) const {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.hops != b.hops) return a.hops < b.hops;
+  return a.min_lifetime > b.min_lifetime;
+}
+
+}  // namespace vanet::routing

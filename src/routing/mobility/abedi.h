@@ -1,0 +1,28 @@
+// Abedi et al. [11] (Sec. IV-B): AODV enhanced with mobility parameters.
+//
+// Direction is the primary next-hop criterion — links between vehicles that
+// move like the *source* are preferred (same-direction nodes stay together);
+// position is secondary: links that make forward progress toward the
+// destination cost less. Speed enters through the predicted link lifetime
+// used for route expiry.
+#pragma once
+
+#include "routing/mobility/pbr.h"
+
+namespace vanet::routing {
+
+class AbediProtocol final : public PbrProtocol {
+ public:
+  std::string_view name() const override { return "abedi"; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+  bool path_better(const PathMetric& a, const PathMetric& b) const override;
+  double preemptive_rebuild_fraction() const override { return 0.0; }
+
+ private:
+  static constexpr double kDirectionPenalty = 3.0;
+  static constexpr double kMaxHeadingDeltaRad = 0.7854;  ///< 45 degrees
+};
+
+}  // namespace vanet::routing

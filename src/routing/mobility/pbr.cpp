@@ -1,0 +1,30 @@
+#include "routing/mobility/pbr.h"
+
+namespace vanet::routing {
+
+double PbrProtocol::predict_link_lifetime(const RreqHeader& h) const {
+  // 120 s horizon at 0.25 s sampling: link evaluation runs once per RREQ per
+  // node, so the solver is kept cheap; bisection still refines the crossing.
+  const auto lifetime = analysis::link_lifetime_2d(
+      h.prev_pos, h.prev_vel, h.prev_acc, network().position(self()),
+      network().velocity(self()), network().acceleration(self()),
+      network().nominal_range(), /*horizon=*/120.0, /*dt=*/0.25, /*tol=*/1e-3);
+  if (!lifetime.has_value()) return analysis::kInfiniteLifetime;
+  return *lifetime;
+}
+
+LinkEval PbrProtocol::evaluate_link(const RreqHeader& h) const {
+  LinkEval ev;
+  ev.lifetime = predict_link_lifetime(h);
+  // Links already predicted to break within the discovery round trip are
+  // not worth building on.
+  ev.usable = ev.lifetime > 0.5;
+  return ev;
+}
+
+bool PbrProtocol::path_better(const PathMetric& a, const PathMetric& b) const {
+  if (a.min_lifetime != b.min_lifetime) return a.min_lifetime > b.min_lifetime;
+  return a.hops < b.hops;
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,36 @@
+// PBR — prediction-based routing (Namboodiri & Gao [13], Sec. IV-B).
+//
+// Route discovery carries each forwarder's kinematics; every link is scored
+// with its predicted lifetime (Eqns. 1-4, solved in 2-D), the path metric is
+// the minimum link lifetime, and the destination answers the most durable
+// path seen in a short collection window. The source schedules a preemptive
+// re-discovery before the predicted expiry — PBR's signature move: replace
+// routes *before* they break.
+#pragma once
+
+#include "analysis/link_lifetime.h"
+#include "routing/on_demand.h"
+
+namespace vanet::routing {
+
+class PbrProtocol : public OnDemandBase {
+ public:
+  std::string_view name() const override { return "pbr"; }
+  Category category() const override { return Category::kMobility; }
+  bool wants_hello() const override { return true; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+  bool path_better(const PathMetric& a, const PathMetric& b) const override;
+  bool reply_immediately() const override { return false; }
+  double preemptive_rebuild_fraction() const override { return 0.75; }
+  core::SimTime route_lifetime_cap() const override {
+    return core::SimTime::seconds(30.0);
+  }
+
+  /// Predicted lifetime of the link from the RREQ's previous hop to us,
+  /// assuming both keep their current velocity/acceleration.
+  double predict_link_lifetime(const RreqHeader& h) const;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,21 @@
+#include "routing/mobility/taleb.h"
+
+#include "analysis/direction.h"
+
+namespace vanet::routing {
+
+LinkEval TalebProtocol::evaluate_link(const RreqHeader& h) const {
+  LinkEval ev;
+  ev.lifetime = predict_link_lifetime(h);
+  ev.usable = ev.lifetime > 0.5;
+  const int own_group = analysis::velocity_group(network().velocity(self()));
+  ev.cost = own_group == h.prev_group ? 1.0 : kCrossGroupPenalty;
+  return ev;
+}
+
+bool TalebProtocol::path_better(const PathMetric& a, const PathMetric& b) const {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  return a.min_lifetime > b.min_lifetime;
+}
+
+}  // namespace vanet::routing

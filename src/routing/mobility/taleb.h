@@ -1,0 +1,27 @@
+// Taleb et al. [14] (Sec. IV-B): velocity-vector grouping.
+//
+// Vehicles are binned into four groups by velocity direction; links between
+// same-group vehicles are expected to outlive cross-group links, so path
+// selection penalises every group change along the path. Like the paper's
+// description, a new discovery is initiated before the route's predicted
+// duration (the shortest link duration) elapses.
+#pragma once
+
+#include "routing/mobility/pbr.h"
+
+namespace vanet::routing {
+
+class TalebProtocol final : public PbrProtocol {
+ public:
+  std::string_view name() const override { return "taleb"; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+  bool path_better(const PathMetric& a, const PathMetric& b) const override;
+  double preemptive_rebuild_fraction() const override { return 0.8; }
+
+ private:
+  static constexpr double kCrossGroupPenalty = 4.0;
+};
+
+}  // namespace vanet::routing

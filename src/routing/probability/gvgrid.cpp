@@ -1,0 +1,41 @@
+#include "routing/probability/gvgrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vanet::routing {
+
+LinkEval GvGridProtocol::evaluate_link(const RreqHeader& h) const {
+  LinkEval ev;
+  const core::Vec2 here = network().position(self());
+  const core::Vec2 axis = here - h.prev_pos;
+  const double d0 = axis.norm();
+  const double r = network().nominal_range();
+  if (d0 >= r * 0.999 || d0 <= 0.0) {
+    // Marginal link: admit it, but at the floor reliability so any
+    // alternative path wins — pruning it outright would partition sparse
+    // topologies where the marginal hop is the only hop.
+    ev.reliability = 1e-6;
+    ev.cost = -std::log(1e-6);
+    return ev;
+  }
+  // Relative separation speed along the link axis; positive = drifting apart.
+  const core::Vec2 unit = axis / d0;
+  const double mu = (network().velocity(self()) - h.prev_vel).dot(unit);
+  const analysis::LinkLifetimeDistribution dist{r, d0, mu, sigma_};
+  const double reliability = std::clamp(dist.survival(horizon_), 1e-6, 1.0);
+  ev.reliability = reliability;
+  ev.cost = -std::log(reliability);
+  ev.lifetime = dist.expected_lifetime(/*horizon=*/600.0);
+  return ev;
+}
+
+bool GvGridProtocol::path_better(const PathMetric& a, const PathMetric& b) const {
+  const bool a_ok = a.hops <= max_hops_;
+  const bool b_ok = b.hops <= max_hops_;
+  if (a_ok != b_ok) return a_ok;  // meet the delay (hop) bound first
+  if (a.reliability != b.reliability) return a.reliability > b.reliability;
+  return a.hops < b.hops;
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,38 @@
+// GVGrid (Sun et al. [28], Sec. VII-B).
+//
+// Assumes vehicle speeds are normally distributed and scores every link with
+// the probability that it survives a reliability horizon delta:
+// P(T > delta) from the stochastic lifetime model (LinkLifetimeDistribution).
+// The route with the highest product of link reliabilities that also meets a
+// hop (delay) bound is selected.
+#pragma once
+
+#include "analysis/lifetime_distribution.h"
+#include "routing/on_demand.h"
+
+namespace vanet::routing {
+
+class GvGridProtocol final : public OnDemandBase {
+ public:
+  explicit GvGridProtocol(double reliability_horizon_s = 5.0,
+                          double speed_sigma = 2.0, int max_hops = 12)
+      : horizon_{reliability_horizon_s},
+        sigma_{speed_sigma},
+        max_hops_{max_hops} {}
+
+  std::string_view name() const override { return "gvgrid"; }
+  Category category() const override { return Category::kProbability; }
+  bool wants_hello() const override { return true; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+  bool path_better(const PathMetric& a, const PathMetric& b) const override;
+  bool reply_immediately() const override { return false; }
+
+ private:
+  double horizon_;
+  double sigma_;
+  int max_hops_;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,14 @@
+#include "routing/probability/rear.h"
+
+namespace vanet::routing {
+
+double RearProtocol::score_candidate(const net::NeighborInfo& cand,
+                                     double progress, double distance) const {
+  (void)cand;
+  const double p = analysis::receipt_probability(distance, params_);
+  // Squaring the receipt probability weights reliability over raw progress:
+  // a far candidate with a marginal link loses to a nearer dependable one.
+  return p * p * progress;
+}
+
+}  // namespace vanet::routing

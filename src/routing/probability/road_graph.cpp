@@ -1,0 +1,125 @@
+#include "routing/probability/road_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/assert.h"
+
+namespace vanet::routing {
+
+RoadGraph::RoadGraph(int nx, int ny, double block)
+    : nx_{nx}, ny_{ny}, block_{block} {
+  VANET_ASSERT(nx >= 1 && ny >= 1 && (nx >= 2 || ny >= 2));
+  VANET_ASSERT(block > 0.0);
+  adj_.resize(static_cast<std::size_t>(nx_ * ny_));
+  auto add_segment = [&](int a, int b) {
+    const int seg = static_cast<int>(segments_.size());
+    segments_.emplace_back(std::min(a, b), std::max(a, b));
+    adj_[static_cast<std::size_t>(a)].emplace_back(b, seg);
+    adj_[static_cast<std::size_t>(b)].emplace_back(a, seg);
+  };
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      if (ix + 1 < nx_) add_segment(index_of(ix, iy), index_of(ix + 1, iy));
+      if (iy + 1 < ny_) add_segment(index_of(ix, iy), index_of(ix, iy + 1));
+    }
+  }
+}
+
+core::Vec2 RoadGraph::intersection_pos(int idx) const {
+  VANET_ASSERT(idx >= 0 && idx < intersection_count());
+  return {static_cast<double>(idx % nx_) * block_,
+          static_cast<double>(idx / nx_) * block_};
+}
+
+int RoadGraph::nearest_intersection(core::Vec2 pos) const {
+  const int ix = std::clamp(static_cast<int>(std::lround(pos.x / block_)), 0,
+                            nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(std::lround(pos.y / block_)), 0,
+                            ny_ - 1);
+  return index_of(ix, iy);
+}
+
+std::pair<int, int> RoadGraph::segment_ends(int seg) const {
+  return segments_.at(static_cast<std::size_t>(seg));
+}
+
+int RoadGraph::segment_between(int a, int b) const {
+  for (const auto& [nbr, seg] : adj_.at(static_cast<std::size_t>(a))) {
+    if (nbr == b) return seg;
+  }
+  return -1;
+}
+
+int RoadGraph::segment_of_position(core::Vec2 pos) const {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const auto [a, b] = segments_[s];
+    const double d = core::distance_to_segment(pos, intersection_pos(a),
+                                               intersection_pos(b));
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+std::vector<int> RoadGraph::neighbors_of(int idx) const {
+  std::vector<int> out;
+  for (const auto& [nbr, seg] : adj_.at(static_cast<std::size_t>(idx))) {
+    out.push_back(nbr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> RoadGraph::shortest_path(
+    int from, int to, const std::function<double(int)>& cost) const {
+  const int n = intersection_count();
+  VANET_ASSERT(from >= 0 && from < n && to >= 0 && to < n);
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> prev(static_cast<std::size_t>(n), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(from)] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == to) break;
+    for (const auto& [v, seg] : adj_[static_cast<std::size_t>(u)]) {
+      const double w = std::max(0.0, cost(seg));
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        prev[static_cast<std::size_t>(v)] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (!std::isfinite(dist[static_cast<std::size_t>(to)])) return {};
+  std::vector<int> path;
+  for (int v = to; v != -1; v = prev[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != from) return {};
+  return path;
+}
+
+void SegmentDensityOracle::set_count(int seg, double vehicles) {
+  counts_.at(static_cast<std::size_t>(seg)) = vehicles;
+}
+
+double SegmentDensityOracle::count(int seg) const {
+  return counts_.at(static_cast<std::size_t>(seg));
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,74 @@
+// Road graph and per-segment density estimates for connectivity-aware
+// routing (CAR [29]).
+//
+// The graph models a Manhattan lattice of streets (a 1 x N lattice degenerates
+// to a single highway). CAR computes, per road segment, the probability that
+// the vehicles currently on it form a connected relay chain, and routes over
+// the segment path that maximises the product of those probabilities.
+//
+// The SegmentDensityOracle carries the per-segment vehicle counts. In the
+// real protocol these statistics are disseminated by the vehicles themselves;
+// the scenario updates the oracle from ground truth once per second instead
+// (substitution documented in DESIGN.md — it isolates the routing policy
+// from the estimation error of the statistics channel).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/vec2.h"
+
+namespace vanet::routing {
+
+class RoadGraph {
+ public:
+  /// `nx` x `ny` intersections spaced `block` metres apart.
+  RoadGraph(int nx, int ny, double block);
+
+  int intersection_count() const { return nx_ * ny_; }
+  core::Vec2 intersection_pos(int idx) const;
+  int nearest_intersection(core::Vec2 pos) const;
+
+  std::size_t segment_count() const { return segments_.size(); }
+  double segment_length() const { return block_; }
+  /// Endpoints (intersection indices) of segment `seg`.
+  std::pair<int, int> segment_ends(int seg) const;
+  /// Index of the segment joining adjacent intersections a and b; -1 if none.
+  int segment_between(int a, int b) const;
+  /// Segment whose geometry is closest to `pos`.
+  int segment_of_position(core::Vec2 pos) const;
+
+  /// Adjacent intersections of `idx`.
+  std::vector<int> neighbors_of(int idx) const;
+
+  /// Dijkstra with per-segment cost; returns the intersection sequence
+  /// from `from` to `to` (inclusive). Empty when unreachable.
+  std::vector<int> shortest_path(int from, int to,
+                                 const std::function<double(int)>& cost) const;
+
+ private:
+  int index_of(int ix, int iy) const { return iy * nx_ + ix; }
+
+  int nx_;
+  int ny_;
+  double block_;
+  std::vector<std::pair<int, int>> segments_;       ///< (a, b) with a < b
+  std::vector<std::vector<std::pair<int, int>>> adj_;  ///< idx -> (nbr, seg)
+};
+
+/// Shared per-segment vehicle-count estimates (see header comment).
+class SegmentDensityOracle {
+ public:
+  explicit SegmentDensityOracle(std::size_t segments) : counts_(segments, 0.0) {}
+
+  void set_count(int seg, double vehicles);
+  double count(int seg) const;
+  std::size_t segments() const { return counts_.size(); }
+
+ private:
+  std::vector<double> counts_;
+};
+
+}  // namespace vanet::routing

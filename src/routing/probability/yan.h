@@ -1,0 +1,63 @@
+// Yan et al. [27] (Sec. VII-B): ticket-based probing on expected link
+// duration.
+//
+// Instead of brute-force flooding, route discovery issues L tickets; every
+// probe carries some tickets and each node forwards at most as many probe
+// copies as it holds tickets, unicasting them to the neighbors with the
+// longest *expected link duration* (computed from the probability model of
+// LinkLifetimeDistribution). The destination answers the most stable probe.
+// TBP-SS (stability-constrained) uses the mean link duration as the metric
+// with a minimum-stability admission threshold.
+#pragma once
+
+#include "analysis/lifetime_distribution.h"
+#include "routing/on_demand.h"
+
+namespace vanet::routing {
+
+class YanProtocol : public OnDemandBase {
+ public:
+  explicit YanProtocol(int tickets = 4) : tickets_{tickets} {}
+
+  std::string_view name() const override { return "yan"; }
+  Category category() const override { return Category::kProbability; }
+  bool wants_hello() const override { return true; }
+
+  int tickets() const { return tickets_; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+  bool path_better(const PathMetric& a, const PathMetric& b) const override;
+  bool reply_immediately() const override { return false; }
+  int initial_tickets() const override { return tickets_; }
+  double preemptive_rebuild_fraction() const override { return 0.7; }
+  void forward_rreq(const net::Packet& p, const RreqHeader& h) override;
+
+  /// Expected lifetime of the link from this node to a neighbor, per the
+  /// stochastic 1-D model (normal relative speed).
+  double expected_link_duration(const net::NeighborInfo& nbr) const;
+
+  static constexpr double kSpeedSigma = 2.0;
+  static constexpr int kMaxFanout = 3;
+
+ private:
+  int tickets_;
+};
+
+/// TBP-SS: same probing machinery, but the routing metric is the mean link
+/// duration ("stability") and links below a stability floor are rejected.
+class YanStabilityProtocol final : public YanProtocol {
+ public:
+  explicit YanStabilityProtocol(int tickets = 4, double min_stability_s = 3.0)
+      : YanProtocol(tickets), min_stability_{min_stability_s} {}
+
+  std::string_view name() const override { return "yan-ss"; }
+
+ protected:
+  LinkEval evaluate_link(const RreqHeader& h) const override;
+
+ private:
+  double min_stability_;
+};
+
+}  // namespace vanet::routing

@@ -1,0 +1,68 @@
+#include "routing/protocol.h"
+
+#include "core/assert.h"
+
+namespace vanet::routing {
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kConnectivity: return "connectivity";
+    case Category::kMobility: return "mobility";
+    case Category::kInfrastructure: return "infrastructure";
+    case Category::kGeographic: return "geographic";
+    case Category::kProbability: return "probability";
+  }
+  return "?";
+}
+
+void RoutingProtocol::bind(const ProtocolContext& ctx) {
+  VANET_ASSERT(ctx.sim && ctx.net && ctx.rng && ctx.events);
+  VANET_ASSERT_MSG(ctx_.sim == nullptr, "bind called twice");
+  VANET_ASSERT_MSG(!wants_hello() || ctx.hello != nullptr,
+                   "protocol requires a HelloService");
+  ctx_ = ctx;
+}
+
+const net::NeighborTable& RoutingProtocol::neighbors() const {
+  VANET_ASSERT_MSG(ctx_.hello != nullptr, "no hello service bound");
+  return ctx_.hello->table(ctx_.self);
+}
+
+net::Packet RoutingProtocol::make_data(net::NodeId dst, std::uint32_t flow,
+                                       std::uint32_t seq,
+                                       std::size_t bytes) const {
+  net::Packet p;
+  p.kind = net::PacketKind::kData;
+  p.origin = ctx_.self;
+  p.destination = dst;
+  p.flow = flow;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  p.created_at = now();
+  return p;
+}
+
+void RoutingProtocol::broadcast(net::Packet p) const {
+  p.rx = net::kBroadcastId;
+  ctx_.net->send(ctx_.self, std::move(p));
+}
+
+void RoutingProtocol::unicast(net::NodeId next_hop, net::Packet p) const {
+  p.rx = next_hop;
+  ctx_.net->send(ctx_.self, std::move(p));
+}
+
+void RoutingProtocol::deliver(const net::Packet& p) const {
+  if (deliver_cb_) deliver_cb_(p);
+}
+
+core::SimTime RoutingProtocol::jitter(double max_ms) const {
+  return core::SimTime::seconds(ctx_.rng->uniform(0.0, max_ms * 1e-3));
+}
+
+void RoutingProtocol::schedule(core::SimTime delay,
+                               std::function<void()> fn) const {
+  ctx_.sim->schedule(delay, std::move(fn));
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,48 @@
+// Registry of all implemented protocols, tagged with the paper's taxonomy.
+//
+// bench_fig1_taxonomy dumps this table; the scenario runner instantiates
+// per-node protocol instances through it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/signal.h"
+#include "routing/infrastructure/bus.h"
+#include "routing/probability/road_graph.h"
+#include "routing/protocol.h"
+
+namespace vanet::routing {
+
+/// Shared dependencies some protocols need; scenario builders fill these in.
+struct ProtocolDeps {
+  analysis::LogNormalParams signal;                       ///< REAR's model
+  std::shared_ptr<const RoadGraph> road_graph;            ///< CAR
+  std::shared_ptr<const SegmentDensityOracle> density;    ///< CAR
+  std::shared_ptr<const FerrySet> ferries;                ///< Bus
+  int yan_tickets = 4;                                    ///< Yan TBP budget
+};
+
+struct ProtocolInfo {
+  std::string_view name;
+  Category category;
+  std::string_view reference;    ///< paper citation tag, e.g. "[13] PBR"
+  std::string_view metric;       ///< the routing metric employed
+  std::string_view control;      ///< control packets used
+  std::function<std::unique_ptr<RoutingProtocol>(const ProtocolDeps&)> make;
+};
+
+class ProtocolRegistry {
+ public:
+  static const std::vector<ProtocolInfo>& all();
+  /// nullptr when unknown.
+  static const ProtocolInfo* find(std::string_view name);
+  /// Throws std::invalid_argument for unknown names or missing dependencies.
+  static std::unique_ptr<RoutingProtocol> make(std::string_view name,
+                                               const ProtocolDeps& deps);
+  static std::vector<std::string_view> names();
+};
+
+}  // namespace vanet::routing

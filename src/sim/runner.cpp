@@ -1,0 +1,47 @@
+#include "sim/runner.h"
+
+#include <numeric>
+
+namespace vanet::sim {
+
+AggregateReport run_seeds(const ScenarioConfig& base,
+                          const std::vector<std::uint64_t>& seeds) {
+  AggregateReport agg;
+  agg.protocol = base.protocol;
+  for (std::uint64_t seed : seeds) {
+    ScenarioConfig cfg = base;
+    cfg.seed = seed;
+    Scenario scenario{cfg};
+    scenario.run();
+    const ScenarioReport r = scenario.report();
+    agg.pdr.add(r.pdr);
+    if (r.delivered > 0) {
+      agg.delay_ms.add(r.delay_ms_mean);
+      agg.hops.add(r.hops_mean);
+    }
+    agg.control_per_delivered.add(r.control_per_delivered);
+    agg.collision_fraction.add(r.collision_fraction);
+    agg.reachable_fraction.add(r.reachable_fraction);
+    agg.route_breaks.add(static_cast<double>(r.route_breaks));
+    agg.discoveries.add(static_cast<double>(r.discoveries));
+    if (r.predicted_lifetime_mean_s > 0.0) {
+      agg.predicted_lifetime_s.add(r.predicted_lifetime_mean_s);
+    }
+    if (r.observed_lifetime_mean_s > 0.0) {
+      agg.observed_lifetime_s.add(r.observed_lifetime_mean_s);
+    }
+    agg.total_originated += r.originated;
+    agg.total_delivered += r.delivered;
+    agg.total_backbone_frames += r.backbone_frames;
+    agg.runs.push_back(r);
+  }
+  return agg;
+}
+
+AggregateReport run_seeds(const ScenarioConfig& base, int n_seeds) {
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(n_seeds));
+  std::iota(seeds.begin(), seeds.end(), 1);
+  return run_seeds(base, seeds);
+}
+
+}  // namespace vanet::sim

@@ -1,0 +1,38 @@
+// Multi-seed experiment runner: same configuration, several seeds,
+// mean ± stddev aggregation of the headline metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "sim/scenario.h"
+
+namespace vanet::sim {
+
+struct AggregateReport {
+  std::string protocol;
+  analysis::RunningStats pdr;
+  analysis::RunningStats delay_ms;
+  analysis::RunningStats hops;
+  analysis::RunningStats control_per_delivered;
+  analysis::RunningStats collision_fraction;
+  analysis::RunningStats reachable_fraction;
+  analysis::RunningStats route_breaks;
+  analysis::RunningStats discoveries;
+  analysis::RunningStats predicted_lifetime_s;
+  analysis::RunningStats observed_lifetime_s;
+  std::uint64_t total_originated = 0;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_backbone_frames = 0;
+  std::vector<ScenarioReport> runs;
+};
+
+/// Run `base` once per seed (overwriting base.seed) and aggregate.
+AggregateReport run_seeds(const ScenarioConfig& base,
+                          const std::vector<std::uint64_t>& seeds);
+
+/// Convenience: seeds 1..n.
+AggregateReport run_seeds(const ScenarioConfig& base, int n_seeds);
+
+}  // namespace vanet::sim

@@ -1,0 +1,249 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::sim {
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} {
+  build_mobility();
+  build_network();
+  build_support();
+  build_protocols();
+  build_traffic();
+}
+
+void Scenario::build_mobility() {
+  std::unique_ptr<mobility::MobilityModel> model;
+  if (cfg_.mobility == MobilityKind::kHighway) {
+    auto highway = std::make_unique<mobility::IdmHighwayModel>(cfg_.highway);
+    highway->populate(cfg_.vehicles_per_direction, rngs_.stream("mobility-init"));
+    model = std::move(highway);
+  } else if (cfg_.mobility == MobilityKind::kManhattan) {
+    auto grid = std::make_unique<mobility::ManhattanGridModel>(cfg_.manhattan);
+    grid->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
+    model = std::move(grid);
+  } else {
+    auto playback = std::make_unique<mobility::TracePlaybackModel>(cfg_.trace);
+    // Node ids mirror vehicle ids, so the trace must use dense ids.
+    const auto& vs = playback->vehicles();
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      VANET_ASSERT_MSG(vs[i].id == i, "trace vehicle ids must be dense 0..N-1");
+    }
+    model = std::move(playback);
+  }
+  vehicle_count_ = model->vehicles().size();
+  VANET_ASSERT_MSG(vehicle_count_ >= 2, "scenario needs at least two vehicles");
+  mobility_ = std::make_unique<mobility::MobilityManager>(
+      sim_, std::move(model), rngs_.stream("mobility"),
+      core::SimTime::seconds(cfg_.mobility_tick_s));
+}
+
+void Scenario::build_network() {
+  std::unique_ptr<net::PropagationModel> propagation;
+  if (cfg_.shadowing) {
+    propagation = std::make_unique<net::LogNormalShadowingModel>(cfg_.signal);
+  } else {
+    propagation = std::make_unique<net::UnitDiskModel>(cfg_.comm_range_m);
+  }
+  net_ = std::make_unique<net::Network>(sim_, mobility_.get(),
+                                        std::move(propagation),
+                                        rngs_.stream("net"), cfg_.net);
+  for (std::size_t v = 0; v < vehicle_count_; ++v) {
+    net_->add_vehicle_node(static_cast<mobility::VehicleId>(v));
+  }
+  // Place RSUs evenly along the deployment area.
+  if (cfg_.rsu_count > 0) {
+    if (cfg_.mobility == MobilityKind::kHighway) {
+      const double spacing = cfg_.highway.length / cfg_.rsu_count;
+      for (int k = 0; k < cfg_.rsu_count; ++k) {
+        // On the median between the carriageways.
+        net_->add_rsu({(k + 0.5) * spacing, -cfg_.highway.median_gap / 2.0});
+      }
+    } else {
+      const double w = (cfg_.manhattan.streets_x - 1) * cfg_.manhattan.block;
+      const double h = (cfg_.manhattan.streets_y - 1) * cfg_.manhattan.block;
+      const int per_side = std::max(1, static_cast<int>(std::lround(
+                                           std::sqrt(cfg_.rsu_count))));
+      int placed = 0;
+      for (int i = 0; i < per_side && placed < cfg_.rsu_count; ++i) {
+        for (int j = 0; j < per_side && placed < cfg_.rsu_count; ++j) {
+          const double x = per_side == 1 ? w / 2.0 : i * w / (per_side - 1);
+          const double y = per_side == 1 ? h / 2.0 : j * h / (per_side - 1);
+          net_->add_rsu({x, y});
+          ++placed;
+        }
+      }
+    }
+    net_->connect_backbone();
+  }
+}
+
+void Scenario::build_support() {
+  // Ferry designation: spread bus ids evenly over the vehicle id space.
+  ferries_ = std::make_shared<routing::FerrySet>();
+  if (cfg_.bus_count > 0) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, vehicle_count_ / cfg_.bus_count);
+    for (std::size_t k = 0; k < static_cast<std::size_t>(cfg_.bus_count) &&
+                            k * stride < vehicle_count_;
+         ++k) {
+      ferries_->insert(static_cast<net::NodeId>(k * stride));
+    }
+  }
+  // Road graph + density oracle (CAR).
+  if (cfg_.mobility == MobilityKind::kManhattan) {
+    road_graph_ = std::make_shared<routing::RoadGraph>(
+        cfg_.manhattan.streets_x, cfg_.manhattan.streets_y,
+        cfg_.manhattan.block);
+  } else {
+    const int nx = std::max(
+        2, static_cast<int>(std::lround(cfg_.highway.length / cfg_.car_cell_m)) +
+               1);
+    road_graph_ = std::make_shared<routing::RoadGraph>(
+        nx, 1, cfg_.highway.length / (nx - 1));
+  }
+  density_ =
+      std::make_shared<routing::SegmentDensityOracle>(road_graph_->segment_count());
+  schedule_density_updates();
+}
+
+void Scenario::update_density() {
+  std::vector<double> counts(road_graph_->segment_count(), 0.0);
+  for (const auto& v : mobility_->vehicles()) {
+    counts[static_cast<std::size_t>(road_graph_->segment_of_position(v.pos))] +=
+        1.0;
+  }
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    density_->set_count(static_cast<int>(s), counts[s]);
+  }
+}
+
+void Scenario::schedule_density_updates() {
+  // Refresh per-segment vehicle counts once per second (stands in for CAR's
+  // statistics dissemination; see DESIGN.md).
+  update_density();
+  sim_.schedule(core::SimTime::seconds(1.0),
+                [this] { schedule_density_updates(); });
+}
+
+void Scenario::build_protocols() {
+  routing::ProtocolDeps deps;
+  deps.signal = cfg_.signal;
+  deps.road_graph = road_graph_;
+  deps.density = density_;
+  deps.ferries = ferries_;
+  deps.yan_tickets = cfg_.yan_tickets;
+
+  const auto ids = net_->node_ids();
+  protocols_.reserve(ids.size());
+  for (net::NodeId id : ids) {
+    (void)id;
+    protocols_.push_back(routing::ProtocolRegistry::make(cfg_.protocol, deps));
+  }
+  const bool wants_hello = protocols_.front()->wants_hello();
+  if (wants_hello) {
+    hello_ = std::make_unique<net::HelloService>(*net_, rngs_.stream("hello"),
+                                                 cfg_.hello);
+  }
+  for (net::NodeId id : ids) {
+    routing::ProtocolContext ctx;
+    ctx.sim = &sim_;
+    ctx.net = net_.get();
+    ctx.hello = hello_.get();
+    ctx.rng = &rngs_.stream("proto");
+    ctx.events = &events_;
+    ctx.self = id;
+    protocols_[id]->bind(ctx);
+
+    net_->set_receive_handler(id, [this, id](const net::Packet& p) {
+      if (p.kind == net::PacketKind::kHello) {
+        if (hello_) hello_->on_frame(id, p);
+        return;
+      }
+      protocols_[id]->handle_frame(p);
+    });
+    net_->set_unicast_fail_handler(id, [this, id](const net::Packet& p) {
+      protocols_[id]->handle_unicast_failure(p);
+    });
+    protocols_[id]->set_deliver_callback([this](const net::Packet& p) {
+      metrics_.record_delivery(p.flow, p.seq, p.created_at, sim_.now(), p.hops);
+    });
+  }
+}
+
+void Scenario::build_traffic() {
+  std::vector<routing::RoutingProtocol*> raw;
+  raw.reserve(protocols_.size());
+  for (auto& p : protocols_) raw.push_back(p.get());
+  traffic_ = std::make_unique<CbrTraffic>(sim_, *net_, std::move(raw),
+                                          vehicle_count_, metrics_,
+                                          rngs_.stream("traffic"), cfg_.traffic);
+}
+
+void Scenario::sample_reachability() {
+  for (const auto& flow : traffic_->flows()) {
+    ++total_samples_;
+    if (net_->reachable(flow.src, flow.dst, net_->nominal_range())) {
+      ++reachable_samples_;
+    }
+  }
+  sim_.schedule(core::SimTime::seconds(1.0), [this] { sample_reachability(); });
+}
+
+void Scenario::run() {
+  if (ran_) return;
+  ran_ = true;
+  mobility_->start();
+  if (hello_) hello_->start();
+  for (auto& p : protocols_) p->start();
+  traffic_->start();
+  if (cfg_.sample_reachability) {
+    // Sample over the traffic window only (flows exist after start()).
+    sim_.schedule(core::SimTime::seconds(cfg_.traffic.start_s),
+                  [this] { sample_reachability(); });
+  }
+  sim_.run_until(core::SimTime::seconds(cfg_.duration_s));
+}
+
+ScenarioReport Scenario::report() const {
+  ScenarioReport r;
+  r.protocol = cfg_.protocol;
+  r.pdr = metrics_.pdr();
+  r.delay_ms_mean = metrics_.delay_ms().mean();
+  r.delay_ms_p95_hint =
+      metrics_.delay_ms().mean() + 2.0 * metrics_.delay_ms().stddev();
+  r.hops_mean = metrics_.hops().mean();
+  r.originated = metrics_.originated();
+  r.delivered = metrics_.delivered();
+  const auto& c = net_->counters();
+  r.control_frames = c.control_frames_sent;
+  r.hello_frames = c.hello_frames_sent;
+  r.data_frames = c.data_frames_sent;
+  r.backbone_frames = c.backbone_frames;
+  r.control_per_delivered =
+      r.delivered > 0 ? static_cast<double>(r.control_frames + r.hello_frames) /
+                            static_cast<double>(r.delivered)
+                      : static_cast<double>(r.control_frames + r.hello_frames);
+  const std::uint64_t attempted =
+      c.receptions_ok + c.receptions_collided + c.receptions_faded;
+  r.collision_fraction =
+      attempted > 0
+          ? static_cast<double>(c.receptions_collided) /
+                static_cast<double>(attempted)
+          : 0.0;
+  r.reachable_fraction =
+      total_samples_ > 0 ? static_cast<double>(reachable_samples_) /
+                               static_cast<double>(total_samples_)
+                         : 0.0;
+  r.route_breaks = events_.route_breaks;
+  r.discoveries = events_.discoveries_started;
+  r.preemptive_rebuilds = events_.preemptive_rebuilds;
+  r.predicted_lifetime_mean_s = events_.predicted_route_lifetime.mean();
+  r.observed_lifetime_mean_s = events_.observed_route_lifetime.mean();
+  return r;
+}
+
+}  // namespace vanet::sim

@@ -1,0 +1,138 @@
+// Scenario assembly: mobility + radio + protocol + traffic in one object.
+//
+// A Scenario owns the whole simulation stack for one run. Configurations are
+// plain data so benches can sweep them; the same seed always reproduces the
+// same run bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "mobility/idm_highway.h"
+#include "mobility/manhattan_grid.h"
+#include "mobility/mobility_manager.h"
+#include "mobility/trace.h"
+#include "net/hello.h"
+#include "net/network.h"
+#include "routing/registry.h"
+#include "sim/metrics.h"
+#include "sim/traffic.h"
+
+namespace vanet::sim {
+
+enum class MobilityKind { kHighway, kManhattan, kTrace };
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  double duration_s = 60.0;
+  double mobility_tick_s = 0.1;
+
+  MobilityKind mobility = MobilityKind::kHighway;
+  mobility::HighwayConfig highway;
+  int vehicles_per_direction = 40;  ///< highway population (per direction)
+  mobility::ManhattanConfig manhattan;
+  int vehicles = 80;                ///< Manhattan population
+  /// kTrace: played-back mobility (SUMO-like CSV; see mobility/trace.h).
+  /// Vehicle ids must be dense 0..N-1 — renumber on conversion if needed.
+  mobility::Trace trace;
+
+  double comm_range_m = 250.0;      ///< unit-disk range
+  bool shadowing = false;           ///< use log-normal shadowing instead
+  analysis::LogNormalParams signal; ///< shadowing parameters (and REAR model)
+  net::NetworkConfig net;
+
+  int rsu_count = 0;                ///< evenly placed roadside units
+  int bus_count = 0;                ///< vehicles designated as message ferries
+
+  std::string protocol = "aodv";
+  net::HelloConfig hello;
+  int yan_tickets = 4;
+  double car_cell_m = 500.0;        ///< road-graph granularity for CAR
+  bool sample_reachability = true;  ///< 1 Hz src-dst connectivity oracle
+
+  TrafficConfig traffic;
+};
+
+/// Aggregated result of one run.
+struct ScenarioReport {
+  std::string protocol;
+  double pdr = 0.0;
+  double delay_ms_mean = 0.0;
+  double delay_ms_p95_hint = 0.0;  ///< mean + 2 sd (normal approx)
+  double hops_mean = 0.0;
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t control_frames = 0;
+  std::uint64_t hello_frames = 0;
+  std::uint64_t data_frames = 0;
+  std::uint64_t backbone_frames = 0;
+  double control_per_delivered = 0.0;  ///< (control + hello) / delivered
+  double collision_fraction = 0.0;     ///< collided / attempted receptions
+  /// Fraction of (flow, second) samples whose endpoints were physically
+  /// connectable through the range-disk graph (+ backbone) — the oracle
+  /// upper bound on PDR. 0 when sampling is disabled.
+  double reachable_fraction = 0.0;
+  std::uint64_t route_breaks = 0;
+  std::uint64_t discoveries = 0;
+  std::uint64_t preemptive_rebuilds = 0;
+  double predicted_lifetime_mean_s = 0.0;
+  double observed_lifetime_mean_s = 0.0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  /// Run the full configured duration (idempotent; runs once).
+  void run();
+
+  ScenarioReport report() const;
+
+  // Component access for tests and benches.
+  core::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *net_; }
+  mobility::MobilityManager& mobility() { return *mobility_; }
+  net::HelloService* hello() { return hello_.get(); }
+  Metrics& metrics() { return metrics_; }
+  routing::ProtocolEvents& events() { return events_; }
+  routing::RoutingProtocol& protocol_at(net::NodeId id) {
+    return *protocols_.at(id);
+  }
+  const CbrTraffic& traffic() const { return *traffic_; }
+  const ScenarioConfig& config() const { return cfg_; }
+  std::size_t vehicle_count() const { return vehicle_count_; }
+
+ private:
+  void build_mobility();
+  void build_network();
+  void build_support();
+  void build_protocols();
+  void build_traffic();
+  void update_density();
+  void schedule_density_updates();
+  void sample_reachability();
+
+  ScenarioConfig cfg_;
+  core::Simulator sim_;
+  core::RngManager rngs_;
+  std::unique_ptr<mobility::MobilityManager> mobility_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::HelloService> hello_;
+  std::vector<std::unique_ptr<routing::RoutingProtocol>> protocols_;
+  routing::ProtocolEvents events_;
+  Metrics metrics_;
+  std::unique_ptr<CbrTraffic> traffic_;
+  std::size_t vehicle_count_ = 0;
+
+  std::shared_ptr<routing::RoadGraph> road_graph_;
+  std::shared_ptr<routing::SegmentDensityOracle> density_;
+  std::shared_ptr<routing::FerrySet> ferries_;
+  std::uint64_t reachable_samples_ = 0;
+  std::uint64_t total_samples_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace vanet::sim

@@ -1,0 +1,28 @@
+// Aligned markdown table printing for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vanet::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number formatting for table cells.
+std::string fmt(double value, int precision = 2);
+std::string fmt_int(std::uint64_t value);
+/// "12.3 ± 0.4" style cell.
+std::string fmt_pm(double mean, double half_width, int precision = 2);
+
+}  // namespace vanet::sim

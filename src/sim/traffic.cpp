@@ -1,0 +1,70 @@
+#include "sim/traffic.h"
+
+#include "core/assert.h"
+
+namespace vanet::sim {
+
+CbrTraffic::CbrTraffic(core::Simulator& sim, net::Network& net,
+                       std::vector<routing::RoutingProtocol*> protocols,
+                       std::size_t vehicle_count, Metrics& metrics,
+                       core::Rng& rng, TrafficConfig cfg)
+    : sim_{sim},
+      net_{net},
+      protocols_{std::move(protocols)},
+      vehicle_count_{vehicle_count},
+      metrics_{metrics},
+      rng_{rng},
+      cfg_{cfg} {
+  VANET_ASSERT(vehicle_count_ >= 2);
+  VANET_ASSERT(cfg_.flows >= 1 && cfg_.rate_pps > 0.0);
+  VANET_ASSERT(cfg_.stop_s > cfg_.start_s);
+}
+
+void CbrTraffic::pick_flows() {
+  const auto max_id = static_cast<std::int64_t>(vehicle_count_ - 1);
+  for (int f = 0; f < cfg_.flows; ++f) {
+    Flow flow;
+    bool ok = false;
+    for (int attempt = 0; attempt < 64 && !ok; ++attempt) {
+      flow.src = static_cast<net::NodeId>(rng_.uniform_int(0, max_id));
+      flow.dst = static_cast<net::NodeId>(rng_.uniform_int(0, max_id));
+      if (flow.src == flow.dst) continue;
+      const double d =
+          (net_.position(flow.src) - net_.position(flow.dst)).norm();
+      ok = d >= cfg_.min_pair_distance_m;
+    }
+    if (!ok) {
+      // Fall back to any distinct pair (dense maps may lack far pairs).
+      do {
+        flow.src = static_cast<net::NodeId>(rng_.uniform_int(0, max_id));
+        flow.dst = static_cast<net::NodeId>(rng_.uniform_int(0, max_id));
+      } while (flow.src == flow.dst);
+    }
+    flows_.push_back(flow);
+  }
+}
+
+void CbrTraffic::start() {
+  pick_flows();
+  const double interval = 1.0 / cfg_.rate_pps;
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    // Stagger flows across one interval to avoid synchronized bursts.
+    const double offset = rng_.uniform(0.0, interval);
+    std::uint32_t seq = 0;
+    for (double t = cfg_.start_s + offset; t < cfg_.stop_s; t += interval) {
+      const std::uint32_t this_seq = seq++;
+      sim_.schedule_at(core::SimTime::seconds(t), [this, f, this_seq] {
+        send_packet(f, this_seq);
+      });
+    }
+  }
+}
+
+void CbrTraffic::send_packet(std::size_t flow_idx, std::uint32_t seq) {
+  const Flow& flow = flows_[flow_idx];
+  metrics_.record_originated(static_cast<std::uint32_t>(flow_idx));
+  protocols_[flow.src]->originate(flow.dst, static_cast<std::uint32_t>(flow_idx),
+                                  seq, cfg_.payload_bytes);
+}
+
+}  // namespace vanet::sim

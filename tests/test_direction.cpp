@@ -1,0 +1,78 @@
+// Fig. 4: velocity decomposition onto the line joining two vehicles and the
+// same-direction test v_ah*v_bh > 0 && v_av*v_bv > 0.
+#include "analysis/direction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vanet::analysis {
+namespace {
+
+TEST(Direction, DecomposeOntoAxis) {
+  // b is due east of a; velocities decompose into along-axis (x) and
+  // perpendicular (y) parts directly.
+  const auto d = decompose({0.0, 0.0}, {100.0, 0.0}, {10.0, 5.0}, {-2.0, 7.0});
+  EXPECT_DOUBLE_EQ(d.a_along, 10.0);
+  EXPECT_DOUBLE_EQ(d.a_perp, 5.0);
+  EXPECT_DOUBLE_EQ(d.b_along, -2.0);
+  EXPECT_DOUBLE_EQ(d.b_perp, 7.0);
+}
+
+TEST(Direction, DecomposeDiagonalAxis) {
+  // Axis at 45 degrees; a velocity along the axis has no perpendicular part.
+  const double s = std::sqrt(2.0) / 2.0;
+  const auto d = decompose({0.0, 0.0}, {10.0, 10.0}, {s, s}, {2.0 * s, 2.0 * s});
+  EXPECT_NEAR(d.a_along, 1.0, 1e-12);
+  EXPECT_NEAR(d.a_perp, 0.0, 1e-12);
+  EXPECT_NEAR(d.b_along, 2.0, 1e-12);
+}
+
+TEST(Direction, SameDirectionParallel) {
+  EXPECT_TRUE(same_direction({0.0, 0.0}, {50.0, 0.0}, {20.0, 1.0}, {25.0, 2.0}));
+}
+
+TEST(Direction, OppositeTrafficIsNotSameDirection) {
+  EXPECT_FALSE(
+      same_direction({0.0, 0.0}, {50.0, 0.0}, {20.0, 1.0}, {-25.0, 1.0}));
+}
+
+TEST(Direction, PerpendicularCrossTrafficIsNotSameDirection) {
+  EXPECT_FALSE(
+      same_direction({0.0, 0.0}, {50.0, 0.0}, {20.0, 5.0}, {20.0, -5.0}));
+}
+
+TEST(Direction, StationaryVehicleIsNotSameDirection) {
+  // Zero projections make both products zero: the paper's strict > fails.
+  EXPECT_FALSE(
+      same_direction({0.0, 0.0}, {50.0, 0.0}, {20.0, 1.0}, {0.0, 0.0}));
+}
+
+TEST(Direction, SimilarHeading) {
+  EXPECT_TRUE(similar_heading({10.0, 0.0}, {10.0, 1.0}, 0.3));
+  EXPECT_FALSE(similar_heading({10.0, 0.0}, {-10.0, 0.0}, 0.3));
+  EXPECT_FALSE(similar_heading({10.0, 0.0}, {0.0, 10.0}, 0.8));
+  EXPECT_TRUE(similar_heading({10.0, 0.0}, {0.0, 10.0}, 1.6));
+  // Stationary vehicles impose no constraint.
+  EXPECT_TRUE(similar_heading({0.0, 0.0}, {-10.0, 0.0}, 0.1));
+}
+
+TEST(Direction, VelocityGroupsQuadrants) {
+  EXPECT_EQ(velocity_group({30.0, 1.0}), 0);   // +x dominant
+  EXPECT_EQ(velocity_group({-30.0, 1.0}), 2);  // -x dominant
+  EXPECT_EQ(velocity_group({1.0, 30.0}), 1);   // +y dominant
+  EXPECT_EQ(velocity_group({1.0, -30.0}), 3);  // -y dominant
+  EXPECT_EQ(velocity_group({0.0, 0.0}), 0);    // convention: group 0
+}
+
+TEST(Direction, GroupsPartitionHighwayTraffic) {
+  // All forward-lane vehicles share a group; all backward-lane vehicles
+  // share the other, regardless of small lateral components.
+  for (double jitter : {-0.5, 0.0, 0.5}) {
+    EXPECT_EQ(velocity_group({28.0, jitter}), 0);
+    EXPECT_EQ(velocity_group({-33.0, jitter}), 2);
+  }
+}
+
+}  // namespace
+}  // namespace vanet::analysis

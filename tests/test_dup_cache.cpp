@@ -1,0 +1,49 @@
+#include "routing/dup_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::routing {
+namespace {
+
+TEST(DupCache, FirstInsertIsFresh) {
+  DupCache c;
+  EXPECT_FALSE(c.seen_or_insert(42));
+  EXPECT_TRUE(c.seen_or_insert(42));
+  EXPECT_TRUE(c.contains(42));
+  EXPECT_FALSE(c.contains(43));
+}
+
+TEST(DupCache, FifoEviction) {
+  DupCache c{3};
+  c.seen_or_insert(1);
+  c.seen_or_insert(2);
+  c.seen_or_insert(3);
+  c.seen_or_insert(4);  // evicts 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.seen_or_insert(1));  // reinsertable after eviction
+}
+
+TEST(DupCache, KeyMixesAllInputs) {
+  const auto k = DupCache::key(1, 2, 3);
+  EXPECT_NE(k, DupCache::key(1, 2, 4));
+  EXPECT_NE(k, DupCache::key(1, 3, 2));
+  EXPECT_NE(k, DupCache::key(3, 2, 1));
+  EXPECT_EQ(k, DupCache::key(1, 2, 3));
+}
+
+TEST(DupCache, KeyCollisionsRareOverDenseRange) {
+  DupCache c{1u << 20};
+  int collisions = 0;
+  for (std::uint32_t a = 0; a < 100; ++a) {
+    for (std::uint32_t b = 0; b < 100; ++b) {
+      if (c.seen_or_insert(DupCache::key(a, b, 7))) ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+}  // namespace
+}  // namespace vanet::routing

@@ -1,0 +1,122 @@
+#include "core/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.h"
+
+namespace vanet::core {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::millis(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::millis(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::millis(20), [&] { order.push_back(2); });
+  SimTime now;
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(now, SimTime::millis(30));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  SimTime now;
+  while (q.run_next(now)) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsDispatch) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(SimTime::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  SimTime now;
+  EXPECT_FALSE(q.run_next(now));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, HandleReportsFiredAsNotPending) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime::millis(1), [] {});
+  SimTime now;
+  EXPECT_TRUE(q.run_next(now));
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // safe after firing
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime::millis(1), [] {});
+  q.schedule(SimTime::millis(9), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), SimTime::millis(9));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  SimTime now;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule(now + SimTime::millis(1), chain);
+  };
+  q.schedule(SimTime::millis(1), chain);
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(now, SimTime::millis(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.schedule(SimTime::seconds(3.0), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  sim.run_until(SimTime::seconds(4.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(SimTime::millis(-5), [&] { fired = true; });
+  sim.run_until(SimTime::zero());
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::millis(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(SimTime::millis(2), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(Simulator, DispatchCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(SimTime::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 7u);
+}
+
+}  // namespace
+}  // namespace vanet::core

@@ -1,0 +1,133 @@
+#include "mobility/idm_highway.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace vanet::mobility {
+namespace {
+
+HighwayConfig small_config() {
+  HighwayConfig cfg;
+  cfg.length = 2000.0;
+  cfg.lanes_per_direction = 2;
+  return cfg;
+}
+
+TEST(IdmHighway, PopulateCounts) {
+  IdmHighwayModel m{small_config()};
+  core::Rng rng{3};
+  m.populate(30, rng);
+  EXPECT_EQ(m.vehicles().size(), 60u);  // bidirectional
+}
+
+TEST(IdmHighway, UnidirectionalPopulate) {
+  HighwayConfig cfg = small_config();
+  cfg.bidirectional = false;
+  IdmHighwayModel m{cfg};
+  core::Rng rng{3};
+  m.populate(25, rng);
+  EXPECT_EQ(m.vehicles().size(), 25u);
+}
+
+TEST(IdmHighway, WorldMappingDirections) {
+  IdmHighwayModel m{small_config()};
+  const VehicleId fwd = m.add_vehicle(0, 1, 500.0, 30.0);
+  const VehicleId bwd = m.add_vehicle(1, 0, 500.0, 30.0);
+  const auto& f = m.state(fwd);
+  const auto& b = m.state(bwd);
+  EXPECT_DOUBLE_EQ(f.pos.x, 500.0);
+  EXPECT_DOUBLE_EQ(f.pos.y, 4.0);  // lane 1 * lane_width
+  EXPECT_DOUBLE_EQ(f.heading.x, 1.0);
+  EXPECT_DOUBLE_EQ(b.pos.x, 1500.0);  // length - s
+  EXPECT_LT(b.pos.y, 0.0);            // other carriageway
+  EXPECT_DOUBLE_EQ(b.heading.x, -1.0);
+}
+
+TEST(IdmHighway, FreeRoadAcceleratesTowardDesiredSpeed) {
+  HighwayConfig cfg = small_config();
+  cfg.bidirectional = false;
+  cfg.lanes_per_direction = 1;
+  IdmHighwayModel m{cfg};
+  const VehicleId id = m.add_vehicle(0, 0, 0.0, 30.0);
+  core::Rng rng{3};
+  for (int i = 0; i < 600; ++i) m.step(0.1, rng);
+  EXPECT_NEAR(m.state(id).speed, 30.0, 1.0);
+}
+
+TEST(IdmHighway, FollowerKeepsSafeGap) {
+  HighwayConfig cfg = small_config();
+  cfg.bidirectional = false;
+  cfg.lanes_per_direction = 1;
+  cfg.lane_change_prob = 0.0;
+  IdmHighwayModel m{cfg};
+  const VehicleId lead = m.add_vehicle(0, 0, 100.0, 15.0);  // slow leader
+  const VehicleId tail = m.add_vehicle(0, 0, 60.0, 35.0);   // fast follower
+  core::Rng rng{3};
+  for (int i = 0; i < 1200; ++i) {
+    m.step(0.1, rng);
+    double gap = m.arc_position(lead) - m.arc_position(tail);
+    if (gap < 0.0) gap += cfg.length;
+    EXPECT_GT(gap, cfg.idm.vehicle_length * 0.5)
+        << "collision at step " << i;
+  }
+  // The follower must have slowed to roughly the leader's speed.
+  EXPECT_NEAR(m.state(tail).speed, m.state(lead).speed, 3.0);
+}
+
+TEST(IdmHighway, SpeedsStayNonNegativeAndBounded) {
+  IdmHighwayModel m{small_config()};
+  core::Rng rng{5};
+  m.populate(40, rng);
+  for (int i = 0; i < 600; ++i) {
+    m.step(0.1, rng);
+    for (const auto& v : m.vehicles()) {
+      EXPECT_GE(v.speed, 0.0);
+      EXPECT_LT(v.speed, 60.0);
+      EXPECT_TRUE(std::isfinite(v.pos.x));
+    }
+  }
+}
+
+TEST(IdmHighway, PositionsStayOnRing) {
+  IdmHighwayModel m{small_config()};
+  core::Rng rng{7};
+  m.populate(30, rng);
+  for (int i = 0; i < 1000; ++i) m.step(0.1, rng);
+  for (const auto& v : m.vehicles()) {
+    EXPECT_GE(v.pos.x, 0.0);
+    EXPECT_LE(v.pos.x, 2000.0);
+  }
+}
+
+TEST(IdmHighway, LaneChangesStayInBounds) {
+  IdmHighwayModel m{small_config()};
+  core::Rng rng{11};
+  m.populate(50, rng);
+  for (int i = 0; i < 600; ++i) {
+    m.step(0.1, rng);
+    for (const auto& v : m.vehicles()) {
+      EXPECT_GE(v.lane, 0);
+      EXPECT_LT(v.lane, 4);  // 2 lanes x 2 directions
+    }
+  }
+}
+
+TEST(IdmHighway, DirectionsNeverMix) {
+  IdmHighwayModel m{small_config()};
+  core::Rng rng{13};
+  m.populate(20, rng);
+  std::vector<int> initial;
+  for (const auto& v : m.vehicles()) initial.push_back(m.direction(v.id));
+  for (int i = 0; i < 300; ++i) m.step(0.1, rng);
+  for (const auto& v : m.vehicles()) {
+    EXPECT_EQ(m.direction(v.id), initial[v.id]);
+    // Heading matches direction.
+    EXPECT_DOUBLE_EQ(v.heading.x, m.direction(v.id) == 0 ? 1.0 : -1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vanet::mobility

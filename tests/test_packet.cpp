@@ -1,0 +1,53 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace vanet::net {
+namespace {
+
+struct HeaderA final : Header {
+  int value = 1;
+};
+struct HeaderB final : Header {
+  int value = 2;
+};
+
+TEST(Packet, HeaderTypedAccess) {
+  Packet p;
+  p.header = std::make_shared<HeaderA>();
+  EXPECT_NE(p.header_as<HeaderA>(), nullptr);
+  EXPECT_EQ(p.header_as<HeaderB>(), nullptr);
+  EXPECT_EQ(p.header_as<HeaderA>()->value, 1);
+}
+
+TEST(Packet, NullHeaderIsSafe) {
+  Packet p;
+  EXPECT_EQ(p.header_as<HeaderA>(), nullptr);
+}
+
+TEST(Packet, CopySharesHeader) {
+  Packet p;
+  p.header = std::make_shared<HeaderA>();
+  Packet q = p;
+  EXPECT_EQ(q.header.get(), p.header.get());
+  EXPECT_EQ(p.header.use_count(), 2);
+}
+
+TEST(Packet, Defaults) {
+  Packet p;
+  EXPECT_EQ(p.rx, kBroadcastId);
+  EXPECT_EQ(p.destination, kBroadcastId);
+  EXPECT_EQ(p.hops, 0);
+  EXPECT_GT(p.ttl, 0);
+}
+
+TEST(PacketKind, Names) {
+  EXPECT_EQ(to_string(PacketKind::kData), "data");
+  EXPECT_EQ(to_string(PacketKind::kControl), "control");
+  EXPECT_EQ(to_string(PacketKind::kHello), "hello");
+}
+
+}  // namespace
+}  // namespace vanet::net

@@ -1,0 +1,55 @@
+#include "net/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::net {
+namespace {
+
+TEST(UnitDisk, BoundaryInclusive) {
+  UnitDiskModel m{250.0};
+  core::Rng rng{1};
+  EXPECT_TRUE(m.try_receive(249.9, rng));
+  EXPECT_TRUE(m.try_receive(250.0, rng));
+  EXPECT_FALSE(m.try_receive(250.1, rng));
+  EXPECT_DOUBLE_EQ(m.max_range(), 250.0);
+  EXPECT_DOUBLE_EQ(m.nominal_range(), 250.0);
+  EXPECT_DOUBLE_EQ(m.receipt_probability(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.receipt_probability(300.0), 0.0);
+}
+
+TEST(Shadowing, RangesOrdered) {
+  LogNormalShadowingModel m{};
+  EXPECT_GT(m.max_range(), m.nominal_range());
+  EXPECT_GT(m.nominal_range(), 50.0);
+}
+
+TEST(Shadowing, NeverReceivesBeyondMaxRange) {
+  LogNormalShadowingModel m{};
+  core::Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(m.try_receive(m.max_range() + 1.0, rng));
+  }
+}
+
+TEST(Shadowing, EmpiricalRateTracksAnalytic) {
+  LogNormalShadowingModel m{};
+  core::Rng rng{5};
+  for (double frac : {0.5, 1.0, 1.3}) {
+    const double d = m.nominal_range() * frac;
+    int ok = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      if (m.try_receive(d, rng)) ++ok;
+    }
+    EXPECT_NEAR(static_cast<double>(ok) / n, m.receipt_probability(d), 0.015)
+        << "frac=" << frac;
+  }
+}
+
+TEST(Shadowing, HalfProbabilityAtNominalRange) {
+  LogNormalShadowingModel m{};
+  EXPECT_NEAR(m.receipt_probability(m.nominal_range()), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace vanet::net

@@ -1,0 +1,82 @@
+#include "routing/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace vanet::routing {
+namespace {
+
+TEST(Registry, AllFiveCategoriesRepresented) {
+  std::set<Category> categories;
+  for (const auto& info : ProtocolRegistry::all()) categories.insert(info.category);
+  EXPECT_EQ(categories.size(), 5u);
+}
+
+TEST(Registry, ExpectedProtocolsPresent) {
+  for (const char* name :
+       {"flooding", "biswas", "aodv", "dsr", "dsdv", "pbr", "taleb", "abedi",
+        "drr", "bus", "greedy", "zone", "grid", "rear", "gvgrid", "car", "yan",
+        "yan-ss", "wedde", "rover", "niude"}) {
+    EXPECT_NE(ProtocolRegistry::find(name), nullptr) << name;
+  }
+  EXPECT_GE(ProtocolRegistry::all().size(), 21u);
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& info : ProtocolRegistry::all()) {
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+  }
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+  EXPECT_EQ(ProtocolRegistry::find("olsr"), nullptr);
+}
+
+TEST(Registry, MakeUnknownThrows) {
+  EXPECT_THROW(ProtocolRegistry::make("olsr", {}), std::invalid_argument);
+}
+
+TEST(Registry, MakeProducesNamedInstance) {
+  ProtocolDeps deps;
+  auto p = ProtocolRegistry::make("aodv", deps);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), "aodv");
+  EXPECT_EQ(p->category(), Category::kConnectivity);
+}
+
+TEST(Registry, CarRequiresDeps) {
+  EXPECT_THROW(ProtocolRegistry::make("car", {}), std::invalid_argument);
+  ProtocolDeps deps;
+  deps.road_graph = std::make_shared<RoadGraph>(3, 3, 100.0);
+  deps.density =
+      std::make_shared<SegmentDensityOracle>(deps.road_graph->segment_count());
+  EXPECT_NE(ProtocolRegistry::make("car", deps), nullptr);
+}
+
+TEST(Registry, InstanceMetadataConsistent) {
+  ProtocolDeps deps;
+  deps.road_graph = std::make_shared<RoadGraph>(3, 3, 100.0);
+  deps.density =
+      std::make_shared<SegmentDensityOracle>(deps.road_graph->segment_count());
+  for (const auto& info : ProtocolRegistry::all()) {
+    auto p = info.make(deps);
+    EXPECT_EQ(p->name(), info.name);
+    EXPECT_EQ(p->category(), info.category);
+    EXPECT_FALSE(info.metric.empty());
+    EXPECT_FALSE(info.control.empty());
+  }
+}
+
+TEST(Registry, CategoryNames) {
+  EXPECT_EQ(to_string(Category::kConnectivity), "connectivity");
+  EXPECT_EQ(to_string(Category::kMobility), "mobility");
+  EXPECT_EQ(to_string(Category::kInfrastructure), "infrastructure");
+  EXPECT_EQ(to_string(Category::kGeographic), "geographic");
+  EXPECT_EQ(to_string(Category::kProbability), "probability");
+}
+
+}  // namespace
+}  // namespace vanet::routing

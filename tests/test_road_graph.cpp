@@ -1,0 +1,97 @@
+#include "routing/probability/road_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vanet::routing {
+namespace {
+
+TEST(RoadGraph, LatticeStructure) {
+  RoadGraph g{3, 2, 100.0};  // 3x2 intersections
+  EXPECT_EQ(g.intersection_count(), 6);
+  // Segments: horizontal 2 per row x 2 rows + vertical 3 = 7.
+  EXPECT_EQ(g.segment_count(), 7u);
+  EXPECT_EQ(g.intersection_pos(0), (core::Vec2{0.0, 0.0}));
+  EXPECT_EQ(g.intersection_pos(5), (core::Vec2{200.0, 100.0}));
+}
+
+TEST(RoadGraph, DegenerateHighwayLine) {
+  RoadGraph g{5, 1, 500.0};
+  EXPECT_EQ(g.intersection_count(), 5);
+  EXPECT_EQ(g.segment_count(), 4u);
+  EXPECT_EQ(g.neighbors_of(0), (std::vector<int>{1}));
+  EXPECT_EQ(g.neighbors_of(2), (std::vector<int>{1, 3}));
+}
+
+TEST(RoadGraph, NearestIntersectionClamps) {
+  RoadGraph g{3, 3, 100.0};
+  EXPECT_EQ(g.nearest_intersection({0.0, 0.0}), 0);
+  EXPECT_EQ(g.nearest_intersection({149.0, 51.0}), 4);  // rounds to (1,1)
+  EXPECT_EQ(g.nearest_intersection({-500.0, 9000.0}), 6);  // clamped corner
+}
+
+TEST(RoadGraph, SegmentBetweenAndEnds) {
+  RoadGraph g{3, 3, 100.0};
+  const int seg = g.segment_between(0, 1);
+  ASSERT_GE(seg, 0);
+  EXPECT_EQ(g.segment_ends(seg), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(g.segment_between(0, 4), -1);  // diagonal: not a street
+  EXPECT_EQ(g.segment_between(0, 1), g.segment_between(1, 0));
+}
+
+TEST(RoadGraph, SegmentOfPosition) {
+  RoadGraph g{3, 3, 100.0};
+  // Point midway along the street from (0,0) to (100,0).
+  const int seg = g.segment_of_position({50.0, 5.0});
+  EXPECT_EQ(g.segment_ends(seg), (std::pair<int, int>{0, 1}));
+}
+
+TEST(RoadGraph, UniformCostPathIsManhattan) {
+  RoadGraph g{4, 4, 100.0};
+  const auto path =
+      g.shortest_path(0, 15, [](int) { return 1.0; });  // corner to corner
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 15);
+  EXPECT_EQ(path.size(), 7u);  // 6 hops = Manhattan distance 3+3
+}
+
+TEST(RoadGraph, CostSteersPathAroundExpensiveSegments) {
+  RoadGraph g{3, 1, 100.0};  // line 0-1-2: only one path exists
+  const auto path = g.shortest_path(0, 2, [](int seg) {
+    return seg == 0 ? 1000.0 : 1.0;  // expensive but unavoidable
+  });
+  EXPECT_EQ(path.size(), 3u);
+
+  RoadGraph grid{3, 3, 100.0};
+  // Make the direct middle row expensive; the path should detour but still
+  // arrive with minimum total cost.
+  const auto detour = grid.shortest_path(3, 5, [&grid](int seg) {
+    const auto [a, b] = grid.segment_ends(seg);
+    const bool middle_row = (a == 3 && b == 4) || (a == 4 && b == 5);
+    return middle_row ? 100.0 : 1.0;
+  });
+  ASSERT_FALSE(detour.empty());
+  EXPECT_EQ(detour.front(), 3);
+  EXPECT_EQ(detour.back(), 5);
+  EXPECT_EQ(detour.size(), 5u);  // 4 cheap hops beat 2 expensive ones
+}
+
+TEST(RoadGraph, SameSourceAndTarget) {
+  RoadGraph g{3, 3, 100.0};
+  const auto path = g.shortest_path(4, 4, [](int) { return 1.0; });
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 4);
+}
+
+TEST(DensityOracle, SetAndGet) {
+  SegmentDensityOracle o{5};
+  EXPECT_EQ(o.segments(), 5u);
+  EXPECT_DOUBLE_EQ(o.count(3), 0.0);
+  o.set_count(3, 12.0);
+  EXPECT_DOUBLE_EQ(o.count(3), 12.0);
+}
+
+}  // namespace
+}  // namespace vanet::routing

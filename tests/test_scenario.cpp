@@ -1,0 +1,145 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace vanet::sim {
+namespace {
+
+ScenarioConfig small_highway(const std::string& protocol) {
+  ScenarioConfig cfg;
+  cfg.protocol = protocol;
+  cfg.mobility = MobilityKind::kHighway;
+  cfg.highway.length = 2000.0;
+  cfg.vehicles_per_direction = 20;
+  cfg.duration_s = 20.0;
+  cfg.traffic.flows = 4;
+  cfg.traffic.start_s = 2.0;
+  cfg.traffic.stop_s = 15.0;
+  cfg.traffic.min_pair_distance_m = 300.0;
+  return cfg;
+}
+
+TEST(Scenario, SameSeedIsBitReproducible) {
+  ScenarioConfig cfg = small_highway("aodv");
+  cfg.seed = 5;
+  Scenario a{cfg}, b{cfg};
+  a.run();
+  b.run();
+  const auto ra = a.report();
+  const auto rb = b.report();
+  EXPECT_EQ(ra.delivered, rb.delivered);
+  EXPECT_EQ(ra.originated, rb.originated);
+  EXPECT_DOUBLE_EQ(ra.delay_ms_mean, rb.delay_ms_mean);
+  EXPECT_EQ(ra.control_frames, rb.control_frames);
+  EXPECT_EQ(a.simulator().events_dispatched(), b.simulator().events_dispatched());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig cfg = small_highway("aodv");
+  cfg.seed = 1;
+  Scenario a{cfg};
+  cfg.seed = 2;
+  Scenario b{cfg};
+  a.run();
+  b.run();
+  EXPECT_NE(a.simulator().events_dispatched(), b.simulator().events_dispatched());
+}
+
+TEST(Scenario, ReportInvariants) {
+  Scenario s{small_highway("greedy")};
+  s.run();
+  const auto r = s.report();
+  EXPECT_GT(r.originated, 0u);
+  EXPECT_LE(r.delivered, r.originated);
+  EXPECT_GE(r.pdr, 0.0);
+  EXPECT_LE(r.pdr, 1.0);
+  EXPECT_GE(r.collision_fraction, 0.0);
+  EXPECT_LE(r.collision_fraction, 1.0);
+  EXPECT_EQ(r.protocol, "greedy");
+}
+
+TEST(Scenario, HelloOnlyWhenProtocolWantsIt) {
+  Scenario flood{small_highway("flooding")};
+  EXPECT_EQ(flood.hello(), nullptr);
+  flood.run();
+  EXPECT_EQ(flood.report().hello_frames, 0u);
+
+  Scenario greedy{small_highway("greedy")};
+  EXPECT_NE(greedy.hello(), nullptr);
+  greedy.run();
+  EXPECT_GT(greedy.report().hello_frames, 0u);
+}
+
+TEST(Scenario, RsusAreAppendedAfterVehicles) {
+  ScenarioConfig cfg = small_highway("drr");
+  cfg.rsu_count = 3;
+  Scenario s{cfg};
+  EXPECT_EQ(s.network().node_count(), s.vehicle_count() + 3);
+  EXPECT_EQ(s.network().rsu_ids().size(), 3u);
+  for (net::NodeId id : s.network().rsu_ids()) {
+    EXPECT_GE(id, s.vehicle_count());
+  }
+  // RSUs are never traffic endpoints.
+  s.run();
+  for (const auto& flow : s.traffic().flows()) {
+    EXPECT_LT(flow.src, s.vehicle_count());
+    EXPECT_LT(flow.dst, s.vehicle_count());
+  }
+}
+
+TEST(Scenario, ReachabilityOracleBoundsPdr) {
+  ScenarioConfig cfg = small_highway("flooding");
+  cfg.vehicles_per_direction = 40;  // dense: mostly connectable
+  Scenario s{cfg};
+  s.run();
+  const auto r = s.report();
+  EXPECT_GT(r.reachable_fraction, 0.5);
+  // The oracle is an upper bound up to sampling noise: a protocol cannot
+  // beat physics by much.
+  EXPECT_LE(r.pdr, r.reachable_fraction + 0.25);
+
+  ScenarioConfig off = cfg;
+  off.sample_reachability = false;
+  Scenario s2{off};
+  s2.run();
+  EXPECT_DOUBLE_EQ(s2.report().reachable_fraction, 0.0);
+}
+
+TEST(Scenario, ManhattanBuilds) {
+  ScenarioConfig cfg;
+  cfg.protocol = "car";
+  cfg.mobility = MobilityKind::kManhattan;
+  cfg.manhattan.streets_x = 4;
+  cfg.manhattan.streets_y = 4;
+  cfg.manhattan.block = 200.0;
+  cfg.vehicles = 40;
+  cfg.duration_s = 15.0;
+  cfg.traffic.flows = 3;
+  cfg.traffic.start_s = 2.0;
+  cfg.traffic.stop_s = 12.0;
+  Scenario s{cfg};
+  s.run();
+  EXPECT_GT(s.report().originated, 0u);
+}
+
+TEST(Scenario, ShadowingChannelRuns) {
+  ScenarioConfig cfg = small_highway("rear");
+  cfg.shadowing = true;
+  Scenario s{cfg};
+  s.run();
+  const auto r = s.report();
+  EXPECT_GT(r.originated, 0u);
+  // With shadowing some receptions fade; the counter must be active.
+  EXPECT_GT(s.network().counters().receptions_faded, 0u);
+}
+
+TEST(Scenario, BusCountDesignatesFerries) {
+  ScenarioConfig cfg = small_highway("bus");
+  cfg.bus_count = 4;
+  Scenario s{cfg};
+  s.run();
+  EXPECT_GT(s.report().originated, 0u);
+}
+
+}  // namespace
+}  // namespace vanet::sim

@@ -1,0 +1,84 @@
+// Sec. VII-A: log-normal shadowing and the receipt probability used by REAR.
+#include "analysis/signal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace vanet::analysis {
+namespace {
+
+TEST(Signal, NormalCdfAnchors) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Signal, PathLossMonotone) {
+  const LogNormalParams p;
+  double prev = path_loss_db(1.0, p);
+  for (double d = 10.0; d <= 1000.0; d += 10.0) {
+    const double loss = path_loss_db(d, p);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(Signal, PathLossReferencePoint) {
+  LogNormalParams p;
+  p.ref_loss_db = 46.7;
+  EXPECT_DOUBLE_EQ(path_loss_db(p.ref_distance_m, p), 46.7);
+  // Below the reference distance the model clamps.
+  EXPECT_DOUBLE_EQ(path_loss_db(0.1, p), 46.7);
+}
+
+TEST(Signal, TenXDistanceCostsTenNExponentDb) {
+  LogNormalParams p;
+  p.path_loss_exponent = 3.0;
+  EXPECT_NEAR(path_loss_db(100.0, p) - path_loss_db(10.0, p), 30.0, 1e-9);
+}
+
+TEST(Signal, ReceiptProbabilityHalfAtNominalRange) {
+  const LogNormalParams p;
+  const double r = nominal_range(p);
+  EXPECT_NEAR(receipt_probability(r, p), 0.5, 1e-9);
+  EXPECT_GT(receipt_probability(r * 0.5, p), 0.9);
+  EXPECT_LT(receipt_probability(r * 2.0, p), 0.1);
+}
+
+TEST(Signal, ZeroSigmaIsDeterministicDisk) {
+  LogNormalParams p;
+  p.shadowing_sigma_db = 0.0;
+  const double r = nominal_range(p);
+  EXPECT_DOUBLE_EQ(receipt_probability(r * 0.999, p), 1.0);
+  EXPECT_DOUBLE_EQ(receipt_probability(r * 1.001, p), 0.0);
+}
+
+TEST(Signal, MaxRangeBeyondNominal) {
+  const LogNormalParams p;
+  EXPECT_GT(max_range(p), nominal_range(p));
+  EXPECT_LT(receipt_probability(max_range(p), p), 0.002);
+}
+
+// Property: analytic receipt probability matches a Monte-Carlo shadowing draw.
+class ReceiptProbabilityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReceiptProbabilityProperty, MatchesMonteCarlo) {
+  const LogNormalParams p;
+  const double d = GetParam();
+  core::Rng rng{99};
+  const int n = 40000;
+  int received = 0;
+  for (int i = 0; i < n; ++i) {
+    const double rx = mean_rx_dbm(d, p) + rng.normal(0.0, p.shadowing_sigma_db);
+    if (rx >= p.rx_threshold_dbm) ++received;
+  }
+  const double mc = static_cast<double>(received) / n;
+  EXPECT_NEAR(mc, receipt_probability(d, p), 0.01) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ReceiptProbabilityProperty,
+                         ::testing::Values(50.0, 150.0, 250.0, 350.0, 500.0));
+
+}  // namespace
+}  // namespace vanet::analysis

@@ -1,0 +1,105 @@
+#include "core/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace vanet::core {
+namespace {
+
+TEST(SpatialGrid, InsertQueryRemove) {
+  SpatialGrid g{100.0};
+  g.insert(1, {0.0, 0.0});
+  g.insert(2, {50.0, 0.0});
+  g.insert(3, {500.0, 0.0});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_EQ(g.query_radius({0.0, 0.0}, 100.0), (std::vector<SpatialGrid::Id>{1, 2}));
+  g.remove(2);
+  EXPECT_EQ(g.query_radius({0.0, 0.0}, 100.0), (std::vector<SpatialGrid::Id>{1}));
+  EXPECT_FALSE(g.contains(2));
+}
+
+TEST(SpatialGrid, QueryExcludesSelf) {
+  SpatialGrid g{100.0};
+  g.insert(7, {0.0, 0.0});
+  g.insert(8, {10.0, 0.0});
+  EXPECT_EQ(g.query_radius({0.0, 0.0}, 50.0, 7),
+            (std::vector<SpatialGrid::Id>{8}));
+}
+
+TEST(SpatialGrid, RadiusIsStrict) {
+  SpatialGrid g{100.0};
+  g.insert(1, {0.0, 0.0});
+  g.insert(2, {100.0, 0.0});
+  // Exactly at the radius: excluded (strict <).
+  EXPECT_TRUE(g.query_radius({0.0, 0.0}, 100.0, 1).empty());
+  EXPECT_EQ(g.query_radius({0.0, 0.0}, 100.01, 1).size(), 1u);
+}
+
+TEST(SpatialGrid, UpdateMovesAcrossCells) {
+  SpatialGrid g{100.0};
+  g.insert(1, {0.0, 0.0});
+  g.update(1, {1000.0, 1000.0});
+  EXPECT_TRUE(g.query_radius({0.0, 0.0}, 200.0).empty());
+  EXPECT_EQ(g.query_radius({1000.0, 1000.0}, 10.0).size(), 1u);
+  EXPECT_EQ(g.position(1), (Vec2{1000.0, 1000.0}));
+}
+
+TEST(SpatialGridDeathTest, DuplicateInsertAborts) {
+  SpatialGrid g{100.0};
+  g.insert(1, {0.0, 0.0});
+  EXPECT_DEATH(g.insert(1, {5.0, 5.0}), "duplicate insert");
+}
+
+TEST(SpatialGridDeathTest, RemoveUnknownAborts) {
+  SpatialGrid g{100.0};
+  EXPECT_DEATH(g.remove(9), "unknown id");
+}
+
+TEST(SpatialGrid, NegativeCoordinates) {
+  SpatialGrid g{50.0};
+  g.insert(1, {-120.0, -80.0});
+  g.insert(2, {-110.0, -85.0});
+  EXPECT_EQ(g.query_radius({-115.0, -82.0}, 20.0).size(), 2u);
+}
+
+// Property: grid query matches brute force for random point clouds, across
+// cell sizes and query radii.
+class SpatialGridProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(SpatialGridProperty, MatchesBruteForce) {
+  const auto [cell, radius, n] = GetParam();
+  SpatialGrid g{cell};
+  Rng rng{static_cast<std::uint64_t>(n) * 7919 + 13};
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p{rng.uniform(-2000.0, 2000.0), rng.uniform(-2000.0, 2000.0)};
+    pts.push_back(p);
+    g.insert(static_cast<SpatialGrid::Id>(i), p);
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    const Vec2 c{rng.uniform(-2000.0, 2000.0), rng.uniform(-2000.0, 2000.0)};
+    std::vector<SpatialGrid::Id> expected;
+    for (int i = 0; i < n; ++i) {
+      if ((pts[static_cast<std::size_t>(i)] - c).norm_sq() < radius * radius) {
+        expected.push_back(static_cast<SpatialGrid::Id>(i));
+      }
+    }
+    EXPECT_EQ(g.query_radius(c, radius), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialGridProperty,
+    ::testing::Combine(::testing::Values(25.0, 100.0, 400.0),
+                       ::testing::Values(30.0, 150.0, 600.0),
+                       ::testing::Values(10, 100, 400)));
+
+}  // namespace
+}  // namespace vanet::core

@@ -1,0 +1,52 @@
+#include "sim/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vanet::sim {
+namespace {
+
+TEST(Table, MarkdownLayout) {
+  Table t{{"name", "value"}};
+  t.add_row({"pdr", "0.95"});
+  t.add_row({"delay", "12.5"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| pdr "), std::string::npos);
+  EXPECT_NE(s.find("|------"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t{{"x"}};
+  t.add_row({"longer-cell"});
+  std::ostringstream out;
+  t.print(out);
+  std::istringstream in{out.str()};
+  std::string header, sep, row;
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(sep.size(), row.size());
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t{{"a", "b"}};
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+  EXPECT_EQ(fmt_int(42), "42");
+  EXPECT_EQ(fmt_pm(10.0, 0.5, 1), "10.0 ± 0.5");
+}
+
+}  // namespace
+}  // namespace vanet::sim
