@@ -2,45 +2,66 @@
 // 5x5-block Manhattan grid with identical traffic — the full taxonomy of
 // Fig. 1 exercised side by side.
 //
-//   ./build/examples/city_multiprotocol
+// All (protocol, seed) runs execute in parallel on the ExperimentEngine;
+// the table is identical to the historic serial loop's output.
+//
+//   ./build/example_city_multiprotocol
 #include <iostream>
 
 #include "routing/registry.h"
-#include "sim/runner.h"
+#include "sim/experiment.h"
 #include "sim/table.h"
+
+namespace {
+
+class CitySink final : public vanet::sim::ReportSink {
+ public:
+  void on_aggregate(const vanet::sim::AggregateRecord& rec) override {
+    using namespace vanet;
+    const auto* info = routing::ProtocolRegistry::find(rec.protocol);
+    const sim::AggregateReport& agg = rec.agg;
+    table_.add_row({std::string(routing::to_string(info->category)),
+                    rec.protocol, sim::fmt(agg.pdr.mean(), 3),
+                    sim::fmt(agg.delay_ms.mean(), 1),
+                    sim::fmt(agg.hops.mean(), 2),
+                    sim::fmt(agg.control_per_delivered.mean(), 1),
+                    sim::fmt(agg.collision_fraction.mean(), 3)});
+  }
+  void end() override { table_.print(std::cout); }
+
+ private:
+  vanet::sim::Table table_{{"category", "protocol", "PDR", "delay ms", "hops",
+                            "ctrl+hello/delivered", "collisions"}};
+};
+
+}  // namespace
 
 int main() {
   using namespace vanet;
 
-  sim::ScenarioConfig cfg;
-  cfg.mobility = sim::MobilityKind::kManhattan;
-  cfg.manhattan.streets_x = 5;
-  cfg.manhattan.streets_y = 5;
-  cfg.manhattan.block = 300.0;
-  cfg.vehicles = 120;
-  cfg.comm_range_m = 250.0;
-  cfg.duration_s = 60.0;
-  cfg.rsu_count = 4;  // used by drr; others ignore the RSUs
-  cfg.bus_count = 6;  // used by bus
-  cfg.traffic.flows = 10;
-  cfg.traffic.rate_pps = 2.0;
-  cfg.traffic.stop_s = 50.0;
-  cfg.traffic.min_pair_distance_m = 500.0;
+  sim::ExperimentSpec spec;
+  spec.base.mobility = sim::MobilityKind::kManhattan;
+  spec.base.manhattan.streets_x = 5;
+  spec.base.manhattan.streets_y = 5;
+  spec.base.manhattan.block = 300.0;
+  spec.base.vehicles = 120;
+  spec.base.comm_range_m = 250.0;
+  spec.base.duration_s = 60.0;
+  spec.base.rsu_count = 4;  // used by drr; others ignore the RSUs
+  spec.base.bus_count = 6;  // used by bus
+  spec.base.traffic.flows = 10;
+  spec.base.traffic.rate_pps = 2.0;
+  spec.base.traffic.stop_s = 50.0;
+  spec.base.traffic.min_pair_distance_m = 500.0;
+  for (const auto& info : routing::ProtocolRegistry::all()) {
+    spec.protocols.emplace_back(info.name);
+  }
+  spec.seeds = {1, 2};
 
   std::cout << "# City (Manhattan 5x5, 120 vehicles): all protocols, "
                "identical traffic\n\n";
-  sim::Table table({"category", "protocol", "PDR", "delay ms", "hops",
-                    "ctrl+hello/delivered", "collisions"});
-  for (const auto& info : routing::ProtocolRegistry::all()) {
-    cfg.protocol = std::string(info.name);
-    const sim::AggregateReport agg = sim::run_seeds(cfg, 2);
-    table.add_row({std::string(routing::to_string(info.category)),
-                   std::string(info.name), sim::fmt(agg.pdr.mean(), 3),
-                   sim::fmt(agg.delay_ms.mean(), 1),
-                   sim::fmt(agg.hops.mean(), 2),
-                   sim::fmt(agg.control_per_delivered.mean(), 1),
-                   sim::fmt(agg.collision_fraction.mean(), 3)});
-  }
-  table.print(std::cout);
+  CitySink sink;
+  sim::ExperimentEngine engine{0};  // all cores
+  engine.run(spec, sink);
   return 0;
 }

@@ -1,0 +1,244 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "routing/registry.h"
+
+namespace vanet::sim {
+
+std::vector<ExperimentCell> expand(const ExperimentSpec& spec) {
+  if (spec.seeds.empty()) {
+    throw std::invalid_argument("ExperimentSpec: seed list is empty");
+  }
+  std::vector<std::string> protocols = spec.protocols;
+  if (protocols.empty()) protocols.push_back(spec.base.protocol);
+  for (const std::string& p : protocols) {
+    if (routing::ProtocolRegistry::find(p) == nullptr) {
+      throw std::invalid_argument("ExperimentSpec: unknown protocol '" + p +
+                                  "'");
+    }
+  }
+  for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.axes.size(); ++j) {
+      if (spec.axes[i].key == spec.axes[j].key) {
+        // Later axes overwrite earlier ones via config_set, so duplicate
+        // keys would label rows with values that never actually ran.
+        throw std::invalid_argument("ExperimentSpec: axis key '" +
+                                    spec.axes[i].key + "' appears twice");
+      }
+    }
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    if (!config_has_key(axis.key)) {
+      throw std::invalid_argument("ExperimentSpec: unknown axis key '" +
+                                  axis.key + "'");
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("ExperimentSpec: axis '" + axis.key +
+                                  "' has no values");
+    }
+    if (axis.key == "seed") {
+      // The engine assigns cfg.seed per run from spec.seeds; a seed axis
+      // would be silently overwritten and mislabel every row.
+      throw std::invalid_argument(
+          "ExperimentSpec: 'seed' cannot be a sweep axis — use the seeds "
+          "list");
+    }
+    if (axis.key == "protocol") {
+      if (!spec.protocols.empty()) {
+        // The axis would overwrite every cell's protocol, silently discarding
+        // the protocols list and duplicating cells.
+        throw std::invalid_argument(
+            "ExperimentSpec: use either the protocols list or a 'protocol' "
+            "sweep axis, not both");
+      }
+      // Catch typos up front rather than mid-matrix inside a worker thread.
+      for (const std::string& p : axis.values) {
+        if (routing::ProtocolRegistry::find(p) == nullptr) {
+          throw std::invalid_argument("ExperimentSpec: unknown protocol '" + p +
+                                      "' on the protocol axis");
+        }
+      }
+    }
+  }
+  // Which protocols actually appear in the matrix (list or protocol axis)?
+  std::vector<std::string> matrix_protocols = protocols;
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.key == "protocol") matrix_protocols = axis.values;
+  }
+  for (const auto& [protocol, overrides] : spec.protocol_overrides) {
+    if (std::find(matrix_protocols.begin(), matrix_protocols.end(),
+                  protocol) == matrix_protocols.end()) {
+      // A typo here would silently run the protocol without its overrides.
+      throw std::invalid_argument("ExperimentSpec: protocol override for '" +
+                                  protocol + "', which is not in the matrix");
+    }
+    for (const auto& [key, value] : overrides) {
+      (void)value;
+      if (!config_has_key(key)) {
+        throw std::invalid_argument("ExperimentSpec: protocol override '" +
+                                    protocol + "' uses unknown key '" + key +
+                                    "'");
+      }
+      if (key == "seed") {
+        throw std::invalid_argument(
+            "ExperimentSpec: 'seed' cannot be overridden — use the seeds "
+            "list");
+      }
+      for (const SweepAxis& axis : spec.axes) {
+        if (axis.key == key) {
+          // The override would clobber the swept value, mislabeling rows.
+          throw std::invalid_argument("ExperimentSpec: protocol override '" +
+                                      protocol + "." + key +
+                                      "' collides with a sweep axis");
+        }
+      }
+    }
+  }
+
+  std::vector<ExperimentCell> cells;
+  // Odometer over the axes: index[i] counts through axes[i].values, with the
+  // last axis spinning fastest.
+  std::vector<std::size_t> index(spec.axes.size(), 0);
+  for (const std::string& protocol : protocols) {
+    while (true) {
+      ExperimentCell cell;
+      cell.protocol = protocol;
+      cell.config = spec.base;
+      cell.config.seed = 0;
+      config_set(cell.config, "protocol", protocol);
+      for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const std::string& value = spec.axes[i].values[index[i]];
+        config_set(cell.config, spec.axes[i].key, value);
+        cell.axes.emplace_back(spec.axes[i].key, value);
+      }
+      // Axes may themselves sweep `protocol`; overrides key off the final one.
+      const auto overrides = spec.protocol_overrides.find(cell.config.protocol);
+      if (overrides != spec.protocol_overrides.end()) {
+        for (const auto& [key, value] : overrides->second) {
+          config_set(cell.config, key, value);
+        }
+      }
+      cell.protocol = cell.config.protocol;
+      cell.digest = config_digest(cell.config);
+      cells.push_back(std::move(cell));
+
+      std::size_t i = spec.axes.size();
+      while (i > 0 && ++index[i - 1] == spec.axes[i - 1].values.size()) {
+        index[--i] = 0;
+      }
+      if (spec.axes.empty() || i == 0) break;
+    }
+  }
+  return cells;
+}
+
+ExperimentEngine::ExperimentEngine(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) {
+    jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs_ <= 0) jobs_ = 1;
+  }
+}
+
+ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec) {
+  return run(spec, std::vector<ReportSink*>{});
+}
+
+ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
+                                       ReportSink& sink) {
+  return run(spec, std::vector<ReportSink*>{&sink});
+}
+
+ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
+                                       const std::vector<ReportSink*>& sinks) {
+  const std::vector<ExperimentCell> cells = expand(spec);
+  const std::size_t n_seeds = spec.seeds.size();
+  const std::size_t n_runs = cells.size() * n_seeds;
+
+  // Results live at their matrix index; completion order is irrelevant.
+  std::vector<ScenarioReport> reports(n_runs);
+
+  auto execute = [&](std::size_t job) {
+    const std::size_t cell_idx = job / n_seeds;
+    const std::size_t seed_idx = job % n_seeds;
+    ScenarioConfig cfg = cells[cell_idx].config;
+    cfg.seed = spec.seeds[seed_idx];
+    Scenario scenario{cfg};
+    scenario.run();
+    reports[job] = scenario.report();
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs_), n_runs));
+  if (workers <= 1) {
+    for (std::size_t job = 0; job < n_runs; ++job) execute(job);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (std::size_t job = next.fetch_add(1);
+               job < n_runs && !failed.load(std::memory_order_relaxed);
+               job = next.fetch_add(1)) {
+            execute(job);
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Aggregate and report in matrix order — deterministic by construction.
+  std::vector<std::string> axis_keys;
+  for (const SweepAxis& axis : spec.axes) axis_keys.push_back(axis.key);
+  for (ReportSink* sink : sinks) sink->begin(axis_keys);
+
+  ExperimentResult result;
+  result.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<ScenarioReport> cell_runs(
+        reports.begin() + static_cast<std::ptrdiff_t>(c * n_seeds),
+        reports.begin() + static_cast<std::ptrdiff_t>((c + 1) * n_seeds));
+    if (!sinks.empty()) {
+      // Per-run records (and their config copies/digests) are only worth
+      // building when someone is listening.
+      ScenarioConfig run_cfg = cells[c].config;
+      for (std::size_t s = 0; s < n_seeds; ++s) {
+        RunRecord rec;
+        rec.protocol = cells[c].protocol;
+        rec.axes = cells[c].axes;
+        rec.seed = spec.seeds[s];
+        run_cfg.seed = spec.seeds[s];
+        rec.config_digest = config_digest(run_cfg);
+        rec.report = cell_runs[s];
+        for (ReportSink* sink : sinks) sink->on_run(rec);
+      }
+    }
+    AggregateRecord agg_rec;
+    agg_rec.protocol = cells[c].protocol;
+    agg_rec.axes = cells[c].axes;
+    agg_rec.config_digest = cells[c].digest;
+    agg_rec.agg = aggregate_runs(cells[c].protocol, cell_runs);
+    for (ReportSink* sink : sinks) sink->on_aggregate(agg_rec);
+    result.cells.push_back(std::move(agg_rec));
+  }
+  for (ReportSink* sink : sinks) sink->end();
+  return result;
+}
+
+}  // namespace vanet::sim

@@ -1,0 +1,82 @@
+// Declarative experiment API: a spec describes a whole run matrix —
+// base config x protocols x named sweep axes x seeds — and the engine
+// executes it, optionally across a worker thread pool.
+//
+// Each Scenario is self-contained and seed-deterministic, so runs are
+// embarrassingly parallel. The engine exploits that: workers race through a
+// flattened job list, but results are stored by matrix index and aggregated
+// afterwards in fixed (cell, seed) order, so every aggregate — and every
+// byte a ReportSink emits — is identical for jobs=1 and jobs=N.
+//
+// Axes address ScenarioConfig fields through the config_kv string layer, so
+// any knob is sweepable (`vehicles`, `traffic.rate_pps`, `hello.interval_s`,
+// even `protocol` itself when row ordering should interleave protocols).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config_kv.h"
+#include "sim/report_sink.h"
+#include "sim/runner.h"
+
+namespace vanet::sim {
+
+/// One sweep dimension: a config_kv key and the values it takes.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+struct ExperimentSpec {
+  ScenarioConfig base;
+  /// Protocols to compare (outermost dimension). Empty: just base.protocol.
+  std::vector<std::string> protocols;
+  /// Cartesian product of axes; the first axis varies slowest.
+  std::vector<SweepAxis> axes;
+  /// Seeds aggregated per cell. Empty specs are invalid.
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  /// Extra key=value overrides applied only when the cell's protocol matches
+  /// — e.g. grant an infrastructure protocol its RSUs without sweeping every
+  /// protocol through rsu_count.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      protocol_overrides;
+};
+
+/// One cell of the expanded matrix (a fully resolved config minus the seed).
+struct ExperimentCell {
+  std::string protocol;
+  std::vector<std::pair<std::string, std::string>> axes;  ///< {key, value}
+  ScenarioConfig config;  ///< seed forced to 0; set per run
+  std::string digest;     ///< config_digest of `config`
+};
+
+/// Deterministic matrix expansion. Throws std::invalid_argument for unknown
+/// protocols, unknown axis keys, bad axis values, or an empty seed list.
+std::vector<ExperimentCell> expand(const ExperimentSpec& spec);
+
+struct ExperimentResult {
+  std::vector<AggregateRecord> cells;  ///< matrix order
+};
+
+class ExperimentEngine {
+ public:
+  /// `jobs` worker threads; <= 0 means hardware concurrency.
+  explicit ExperimentEngine(int jobs = 1);
+
+  ExperimentResult run(const ExperimentSpec& spec);
+  ExperimentResult run(const ExperimentSpec& spec, ReportSink& sink);
+  /// All sinks observe the same deterministic record stream.
+  ExperimentResult run(const ExperimentSpec& spec,
+                       const std::vector<ReportSink*>& sinks);
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace vanet::sim

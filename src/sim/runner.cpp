@@ -2,18 +2,15 @@
 
 #include <numeric>
 
+#include "sim/experiment.h"
+
 namespace vanet::sim {
 
-AggregateReport run_seeds(const ScenarioConfig& base,
-                          const std::vector<std::uint64_t>& seeds) {
+AggregateReport aggregate_runs(const std::string& protocol,
+                               const std::vector<ScenarioReport>& runs) {
   AggregateReport agg;
-  agg.protocol = base.protocol;
-  for (std::uint64_t seed : seeds) {
-    ScenarioConfig cfg = base;
-    cfg.seed = seed;
-    Scenario scenario{cfg};
-    scenario.run();
-    const ScenarioReport r = scenario.report();
+  agg.protocol = protocol;
+  for (const ScenarioReport& r : runs) {
     agg.pdr.add(r.pdr);
     if (r.delivered > 0) {
       agg.delay_ms.add(r.delay_ms_mean);
@@ -36,6 +33,16 @@ AggregateReport run_seeds(const ScenarioConfig& base,
     agg.runs.push_back(r);
   }
   return agg;
+}
+
+AggregateReport run_seeds(const ScenarioConfig& base,
+                          const std::vector<std::uint64_t>& seeds) {
+  ExperimentSpec spec;
+  spec.base = base;
+  spec.seeds = seeds;
+  ExperimentEngine engine{1};
+  ExperimentResult result = engine.run(spec);
+  return std::move(result.cells.at(0).agg);
 }
 
 AggregateReport run_seeds(const ScenarioConfig& base, int n_seeds) {

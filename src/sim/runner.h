@@ -28,7 +28,15 @@ struct AggregateReport {
   std::vector<ScenarioReport> runs;
 };
 
+/// Fold per-seed reports into an AggregateReport. The canonical aggregation
+/// used everywhere (run_seeds and ExperimentEngine): order-dependent only on
+/// the order of `runs`, which callers keep in seed order, so serial and
+/// parallel execution aggregate bit-identically.
+AggregateReport aggregate_runs(const std::string& protocol,
+                               const std::vector<ScenarioReport>& runs);
+
 /// Run `base` once per seed (overwriting base.seed) and aggregate.
+/// Thin wrapper over ExperimentEngine (single cell, jobs=1).
 AggregateReport run_seeds(const ScenarioConfig& base,
                           const std::vector<std::uint64_t>& seeds);
 

@@ -138,6 +138,7 @@ void Scenario::build_protocols() {
   deps.yan_tickets = cfg_.yan_tickets;
 
   const auto ids = net_->node_ids();
+  VANET_ASSERT_MSG(!ids.empty(), "scenario requires at least one node");
   protocols_.reserve(ids.size());
   for (net::NodeId id : ids) {
     (void)id;
@@ -223,6 +224,7 @@ ScenarioReport Scenario::report() const {
   r.hello_frames = c.hello_frames_sent;
   r.data_frames = c.data_frames_sent;
   r.backbone_frames = c.backbone_frames;
+  r.receptions_ok = c.receptions_ok;
   r.control_per_delivered =
       r.delivered > 0 ? static_cast<double>(r.control_frames + r.hello_frames) /
                             static_cast<double>(r.delivered)

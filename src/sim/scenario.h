@@ -69,6 +69,7 @@ struct ScenarioReport {
   std::uint64_t hello_frames = 0;
   std::uint64_t data_frames = 0;
   std::uint64_t backbone_frames = 0;
+  std::uint64_t receptions_ok = 0;     ///< successfully decoded frames (dup load)
   double control_per_delivered = 0.0;  ///< (control + hello) / delivered
   double collision_fraction = 0.0;     ///< collided / attempted receptions
   /// Fraction of (flow, second) samples whose endpoints were physically

@@ -1,0 +1,198 @@
+#include "sim/config_kv.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vanet::sim {
+namespace {
+
+TEST(ConfigKv, KeysAreNonEmptyAndUnique) {
+  const auto& keys = config_keys();
+  ASSERT_FALSE(keys.empty());
+  std::set<std::string> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+  for (const auto& key : keys) EXPECT_TRUE(config_has_key(key)) << key;
+  EXPECT_FALSE(config_has_key("no.such.key"));
+}
+
+TEST(ConfigKv, CoversNestedBlocks) {
+  // The kv layer must reach every nested config block, not just top-level
+  // scalars.
+  for (const char* key :
+       {"traffic.flows", "hello.interval_s", "highway.idm.desired_speed",
+        "manhattan.block", "net.bitrate_bps", "signal.rx_threshold_dbm"}) {
+    EXPECT_TRUE(config_has_key(key)) << key;
+  }
+}
+
+TEST(ConfigKv, GetReflectsSet) {
+  ScenarioConfig cfg;
+  config_set(cfg, "duration_s", "123.5");
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 123.5);
+  EXPECT_EQ(config_get(cfg, "duration_s"), "123.5");
+
+  config_set(cfg, "traffic.flows", "17");
+  EXPECT_EQ(cfg.traffic.flows, 17);
+
+  config_set(cfg, "shadowing", "true");
+  EXPECT_TRUE(cfg.shadowing);
+  config_set(cfg, "shadowing", "0");
+  EXPECT_FALSE(cfg.shadowing);
+
+  config_set(cfg, "mobility", "manhattan");
+  EXPECT_EQ(cfg.mobility, MobilityKind::kManhattan);
+  EXPECT_EQ(config_get(cfg, "mobility"), "manhattan");
+  config_set(cfg, "mobility", "trace");
+  EXPECT_EQ(cfg.mobility, MobilityKind::kTrace);
+
+  config_set(cfg, "protocol", "yan");
+  EXPECT_EQ(cfg.protocol, "yan");
+
+  config_set(cfg, "hello.interval_s", "0.5");
+  EXPECT_EQ(cfg.hello.interval, core::SimTime::seconds(0.5));
+  EXPECT_EQ(config_get(cfg, "hello.interval_s"), "0.5");
+
+  config_set(cfg, "highway.idm.desired_speed", "22.5");
+  EXPECT_DOUBLE_EQ(cfg.highway.idm.desired_speed, 22.5);
+}
+
+TEST(ConfigKv, VehiclesAliasSetsBothPopulations) {
+  ScenarioConfig cfg;
+  config_set(cfg, "vehicles", "55");
+  EXPECT_EQ(cfg.vehicles, 55);
+  EXPECT_EQ(cfg.vehicles_per_direction, 55);
+  // The narrow key still addresses the highway population alone.
+  config_set(cfg, "vehicles_per_direction", "7");
+  EXPECT_EQ(cfg.vehicles, 55);
+  EXPECT_EQ(cfg.vehicles_per_direction, 7);
+}
+
+TEST(ConfigKv, UnknownKeyRejected) {
+  ScenarioConfig cfg;
+  EXPECT_THROW(config_get(cfg, "nope"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "nope", "1"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "traffic.nope", "1"), std::invalid_argument);
+  try {
+    config_set(cfg, "bogus.key", "1");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus.key"), std::string::npos);
+  }
+}
+
+TEST(ConfigKv, BadValueRejectedWithKeyAndValueInMessage) {
+  ScenarioConfig cfg;
+  EXPECT_THROW(config_set(cfg, "vehicles", "abc"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "vehicles", "12x"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "duration_s", ""), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "shadowing", "maybe"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "mobility", "teleport"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "traffic.payload_bytes", "-4"),
+               std::invalid_argument);
+  // Zero or negative populations would build a nodeless network.
+  EXPECT_THROW(config_set(cfg, "vehicles", "0"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "vehicles_per_direction", "-3"),
+               std::invalid_argument);
+  // Values outside the destination type's range must not silently wrap.
+  EXPECT_THROW(config_set(cfg, "traffic.flows", "4294967297"),
+               std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "rsu_count", "-9999999999999"),
+               std::invalid_argument);
+  try {
+    config_set(cfg, "traffic.rate_pps", "fast");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("traffic.rate_pps"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+  }
+}
+
+TEST(ConfigKv, CheckedParsersRejectTrailingGarbage) {
+  EXPECT_EQ(parse_int_checked("42").value(), 42);
+  EXPECT_EQ(parse_int_checked("-3").value(), -3);
+  EXPECT_FALSE(parse_int_checked("42 ").has_value());
+  EXPECT_FALSE(parse_int_checked("4.2").has_value());
+  EXPECT_FALSE(parse_int_checked("").has_value());
+  EXPECT_DOUBLE_EQ(parse_double_checked("2.5e3").value(), 2500.0);
+  EXPECT_FALSE(parse_double_checked("2.5x").has_value());
+  EXPECT_TRUE(parse_bool_checked("on").value());
+  EXPECT_FALSE(parse_bool_checked("off").value());
+  EXPECT_FALSE(parse_bool_checked("2").has_value());
+}
+
+TEST(ConfigKv, SerializeParseRoundTrip) {
+  ScenarioConfig cfg;
+  cfg.seed = 99;
+  cfg.duration_s = 33.25;
+  cfg.mobility = MobilityKind::kManhattan;
+  cfg.vehicles = 64;
+  cfg.vehicles_per_direction = 13;  // differs from `vehicles` on purpose
+  cfg.comm_range_m = 175.5;
+  cfg.shadowing = true;
+  cfg.protocol = "greedy";
+  cfg.traffic.rate_pps = 0.1;
+  cfg.traffic.payload_bytes = 256;
+  cfg.hello.interval = core::SimTime::seconds(0.25);
+  cfg.highway.idm.desired_speed = 21.125;
+  cfg.manhattan.turn_prob_left = 0.3;
+  cfg.net.contention_window = 64;
+  cfg.signal.path_loss_exponent = 3.0;
+
+  const std::string text = serialize_config(cfg);
+  const ScenarioConfig parsed = parse_config(text);
+  EXPECT_EQ(serialize_config(parsed), text);
+
+  EXPECT_EQ(parsed.seed, 99u);
+  EXPECT_DOUBLE_EQ(parsed.duration_s, 33.25);
+  EXPECT_EQ(parsed.mobility, MobilityKind::kManhattan);
+  EXPECT_EQ(parsed.vehicles, 64);
+  EXPECT_EQ(parsed.vehicles_per_direction, 13);
+  EXPECT_TRUE(parsed.shadowing);
+  EXPECT_EQ(parsed.protocol, "greedy");
+  EXPECT_DOUBLE_EQ(parsed.traffic.rate_pps, 0.1);
+  EXPECT_EQ(parsed.traffic.payload_bytes, 256u);
+  EXPECT_EQ(parsed.hello.interval, core::SimTime::seconds(0.25));
+  EXPECT_DOUBLE_EQ(parsed.highway.idm.desired_speed, 21.125);
+  EXPECT_EQ(parsed.net.contention_window, 64);
+}
+
+TEST(ConfigKv, RoundTripEveryKeyIndividually) {
+  // set(get()) must be the identity for every key of the default config —
+  // except the documented `vehicles` alias, which also writes
+  // vehicles_per_direction (their defaults differ).
+  const ScenarioConfig defaults;
+  const std::string before = serialize_config(defaults);
+  for (const auto& key : config_keys()) {
+    ScenarioConfig cfg;
+    config_set(cfg, key, config_get(defaults, key));
+    if (key == "vehicles") {
+      EXPECT_EQ(cfg.vehicles_per_direction, defaults.vehicles);
+      cfg.vehicles_per_direction = defaults.vehicles_per_direction;
+    }
+    EXPECT_EQ(serialize_config(cfg), before) << key;
+  }
+}
+
+TEST(ConfigKv, ParseSkipsCommentsAndRejectsGarbage) {
+  ScenarioConfig cfg =
+      parse_config("# provenance header\n\nvehicles=9\nprotocol=dsr\n");
+  EXPECT_EQ(cfg.vehicles, 9);
+  EXPECT_EQ(cfg.protocol, "dsr");
+  EXPECT_THROW(parse_config("vehicles"), std::invalid_argument);
+  EXPECT_THROW(parse_config("unknown=1"), std::invalid_argument);
+}
+
+TEST(ConfigKv, DigestTracksConfigIdentity) {
+  ScenarioConfig a, b;
+  EXPECT_EQ(config_digest(a), config_digest(b));
+  EXPECT_EQ(config_digest(a).size(), 16u);
+  config_set(b, "traffic.flows", "99");
+  EXPECT_NE(config_digest(a), config_digest(b));
+  config_set(a, "traffic.flows", "99");
+  EXPECT_EQ(config_digest(a), config_digest(b));
+}
+
+}  // namespace
+}  // namespace vanet::sim
