@@ -1,0 +1,216 @@
+// Scenario-throughput harness for the PHY/MAC hot path.
+//
+// Runs fixed-seed scenarios across the three mobility families (highway /
+// Manhattan / trace playback) and a population sweep, and emits one
+// machine-readable JSON document: wall time, simulator events dispatched,
+// events/sec and the canonical report digest per run. CI runs `--smoke` and
+// fails on malformed output; BENCH_*.json files in the repo root track the
+// full sweep before/after perf work (see docs/PERFORMANCE.md).
+//
+// Usage:
+//   bench_scenario_throughput [--smoke] [--out FILE]
+//       [--families highway,manhattan,trace] [--sizes 100,250,500,1000]
+//       [--duration SECONDS] [--seed N]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mobility/manhattan_grid.h"
+#include "mobility/trace.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using vanet::sim::MobilityKind;
+using vanet::sim::ScenarioConfig;
+using vanet::sim::TimedRun;
+
+struct Options {
+  std::vector<std::string> families{"highway", "manhattan", "trace"};
+  std::vector<int> sizes{100, 250, 500, 1000};
+  double duration_s = 10.0;
+  std::uint64_t seed = 1;
+  std::string out_path;  // empty: stdout
+};
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss{s};
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--smoke") {
+        opt.families = {"manhattan"};
+        opt.sizes = {100};
+        opt.duration_s = 2.0;
+      } else if (arg == "--out") {
+        const char* v = value();
+        if (v == nullptr) return false;
+        opt.out_path = v;
+      } else if (arg == "--families") {
+        const char* v = value();
+        if (v == nullptr) return false;
+        opt.families = split(v, ',');
+      } else if (arg == "--sizes") {
+        const char* v = value();
+        if (v == nullptr) return false;
+        opt.sizes.clear();
+        for (const auto& s : split(v, ',')) opt.sizes.push_back(std::stoi(s));
+      } else if (arg == "--duration") {
+        const char* v = value();
+        if (v == nullptr) return false;
+        opt.duration_s = std::stod(v);
+      } else if (arg == "--seed") {
+        const char* v = value();
+        if (v == nullptr) return false;
+        opt.seed = std::stoull(v);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "invalid numeric value for " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Shared knobs: enough traffic + beacons to keep the channel contended, the
+// same for every family so events/sec compares across them.
+void apply_common(ScenarioConfig& cfg, const Options& opt) {
+  cfg.seed = opt.seed;
+  cfg.duration_s = opt.duration_s;
+  cfg.protocol = "aodv";  // RREQ flooding: the worst-case broadcast load
+  cfg.traffic.flows = 20;
+  cfg.traffic.rate_pps = 4.0;
+  cfg.traffic.start_s = 1.0;
+  cfg.traffic.stop_s = opt.duration_s;
+  cfg.sample_reachability = true;
+}
+
+vanet::mobility::ManhattanConfig manhattan_for(int vehicles) {
+  vanet::mobility::ManhattanConfig m;
+  // Keep the area fixed (urban density sweep): 10x10 streets, 200 m blocks.
+  m.streets_x = 10;
+  m.streets_y = 10;
+  m.block = 200.0;
+  (void)vehicles;
+  return m;
+}
+
+ScenarioConfig make_config(const std::string& family, int vehicles,
+                           const Options& opt) {
+  ScenarioConfig cfg;
+  apply_common(cfg, opt);
+  if (family == "highway") {
+    cfg.mobility = MobilityKind::kHighway;
+    cfg.vehicles_per_direction = vehicles / 2;
+  } else if (family == "manhattan") {
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.manhattan = manhattan_for(vehicles);
+    cfg.vehicles = vehicles;
+  } else if (family == "trace") {
+    // Deterministically record a Manhattan run and play it back, so the
+    // trace family exercises TracePlaybackModel with realistic motion.
+    cfg.mobility = MobilityKind::kTrace;
+    vanet::mobility::ManhattanGridModel model{manhattan_for(vehicles)};
+    vanet::core::Rng rng{opt.seed * 7919 + 17};
+    model.populate(vehicles, rng);
+    vanet::mobility::TraceRecorder recorder;
+    const double dt = 0.1;
+    recorder.capture(0.0, model);
+    for (double t = dt; t <= opt.duration_s + dt; t += dt) {
+      model.step(dt, rng);
+      recorder.capture(t, model);
+    }
+    cfg.trace = recorder.take();
+  } else {
+    std::cerr << "unknown family: " << family << "\n";
+    std::exit(2);
+  }
+  return cfg;
+}
+
+void append_json_run(std::string& out, const std::string& family, int vehicles,
+                     const Options& opt, const TimedRun& run) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "    {\n"
+     << "      \"family\": \"" << family << "\",\n"
+     << "      \"vehicles\": " << run.vehicles << ",\n"
+     << "      \"requested_vehicles\": " << vehicles << ",\n"
+     << "      \"seed\": " << opt.seed << ",\n"
+     << "      \"sim_duration_s\": " << opt.duration_s << ",\n"
+     << "      \"wall_s\": " << run.wall_s << ",\n"
+     << "      \"events_dispatched\": " << run.events_dispatched << ",\n"
+     << "      \"events_per_sec\": " << run.events_per_sec() << ",\n"
+     << "      \"frames_sent\": "
+     << (run.report.data_frames + run.report.control_frames +
+         run.report.hello_frames)
+     << ",\n"
+     << "      \"receptions_ok\": " << run.report.receptions_ok << ",\n"
+     << "      \"pdr\": " << run.report.pdr << ",\n"
+     << "      \"report_digest\": \"" << vanet::sim::report_digest(run.report)
+     << "\"\n"
+     << "    }";
+  out += os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"benchmark\": \"scenario_throughput\",\n";
+  json += "  \"results\": [\n";
+  bool first = true;
+  for (const std::string& family : opt.families) {
+    for (const int vehicles : opt.sizes) {
+      const ScenarioConfig cfg = make_config(family, vehicles, opt);
+      const TimedRun run = vanet::sim::run_timed(cfg);
+      if (!first) json += ",\n";
+      first = false;
+      append_json_run(json, family, vehicles, opt, run);
+      std::cerr << family << "/" << vehicles << ": " << run.events_dispatched
+                << " events in " << run.wall_s << " s ("
+                << static_cast<std::uint64_t>(run.events_per_sec())
+                << " events/sec)\n";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  if (opt.out_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream f{opt.out_path};
+    if (!f) {
+      std::cerr << "cannot open " << opt.out_path << "\n";
+      return 2;
+    }
+    f << json;
+  }
+  return 0;
+}

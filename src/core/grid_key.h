@@ -1,0 +1,21 @@
+// Cell-key packing shared by the uniform hash grids (core::SpatialGrid and
+// net::ChannelState): one definition, so the two grids can never disagree on
+// how cell coordinates map to bucket keys.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace vanet::core {
+
+/// Pack two 32-bit cell coordinates into one 64-bit key.
+inline std::int64_t grid_cell_key(std::int64_t cx, std::int64_t cy) {
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+/// Cell coordinate of scalar `v` for the given cell size.
+inline std::int64_t grid_cell_coord(double v, double cell_size) {
+  return static_cast<std::int64_t>(std::floor(v / cell_size));
+}
+
+}  // namespace vanet::core

@@ -1,9 +1,9 @@
 #include "core/spatial_grid.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "core/assert.h"
+#include "core/grid_key.h"
 
 namespace vanet::core {
 
@@ -12,72 +12,77 @@ SpatialGrid::SpatialGrid(double cell_size) : cell_size_{cell_size} {
 }
 
 SpatialGrid::CellKey SpatialGrid::key_for(Vec2 pos) const {
-  const auto cx = static_cast<std::int64_t>(std::floor(pos.x / cell_size_));
-  const auto cy = static_cast<std::int64_t>(std::floor(pos.y / cell_size_));
-  // Pack two 32-bit cell coordinates into one key.
-  return (cx << 32) ^ (cy & 0xffffffffLL);
+  return grid_cell_key(grid_cell_coord(pos.x, cell_size_),
+                       grid_cell_coord(pos.y, cell_size_));
 }
 
 void SpatialGrid::insert(Id id, Vec2 pos) {
-  VANET_ASSERT_MSG(!positions_.contains(id), "duplicate insert");
-  positions_[id] = pos;
-  cells_[key_for(pos)].push_back(id);
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  VANET_ASSERT_MSG(!slots_[id].present, "duplicate insert");
+  const CellKey key = key_for(pos);
+  slots_[id] = Slot{pos, key, true};
+  cells_[key].push_back(id);
+  ++count_;
 }
 
 void SpatialGrid::remove(Id id) {
-  auto it = positions_.find(id);
-  VANET_ASSERT_MSG(it != positions_.end(), "remove of unknown id");
-  auto& bucket = cells_[key_for(it->second)];
+  VANET_ASSERT_MSG(contains(id), "remove of unknown id");
+  auto& bucket = cells_[slots_[id].cell];
   bucket.erase(std::find(bucket.begin(), bucket.end(), id));
-  positions_.erase(it);
+  slots_[id].present = false;
+  --count_;
 }
 
 void SpatialGrid::update(Id id, Vec2 pos) {
-  auto it = positions_.find(id);
-  VANET_ASSERT_MSG(it != positions_.end(), "update of unknown id");
-  const CellKey old_key = key_for(it->second);
+  VANET_ASSERT_MSG(contains(id), "update of unknown id");
+  Slot& slot = slots_[id];
   const CellKey new_key = key_for(pos);
-  if (old_key != new_key) {
-    auto& bucket = cells_[old_key];
+  if (slot.cell != new_key) {
+    auto& bucket = cells_[slot.cell];
     bucket.erase(std::find(bucket.begin(), bucket.end(), id));
     cells_[new_key].push_back(id);
+    slot.cell = new_key;
   }
-  it->second = pos;
+  slot.pos = pos;
 }
 
 Vec2 SpatialGrid::position(Id id) const {
-  auto it = positions_.find(id);
-  VANET_ASSERT_MSG(it != positions_.end(), "position of unknown id");
-  return it->second;
+  VANET_ASSERT_MSG(contains(id), "position of unknown id");
+  return slots_[id].pos;
+}
+
+void SpatialGrid::query_radius_into(Vec2 center, double radius, Id exclude,
+                                    std::vector<Id>& out) const {
+  out.clear();
+  const double r2 = radius * radius;
+  const std::int64_t lo_x = grid_cell_coord(center.x - radius, cell_size_);
+  const std::int64_t hi_x = grid_cell_coord(center.x + radius, cell_size_);
+  const std::int64_t lo_y = grid_cell_coord(center.y - radius, cell_size_);
+  const std::int64_t hi_y = grid_cell_coord(center.y + radius, cell_size_);
+  for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+      auto it = cells_.find(grid_cell_key(cx, cy));
+      if (it == cells_.end()) continue;
+      for (Id id : it->second) {
+        if (id == exclude) continue;
+        if ((slots_[id].pos - center).norm_sq() < r2) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
 }
 
 std::vector<SpatialGrid::Id> SpatialGrid::query_radius(Vec2 center,
                                                        double radius) const {
   std::vector<Id> out;
-  const double r2 = radius * radius;
-  const auto lo_x = static_cast<std::int64_t>(std::floor((center.x - radius) / cell_size_));
-  const auto hi_x = static_cast<std::int64_t>(std::floor((center.x + radius) / cell_size_));
-  const auto lo_y = static_cast<std::int64_t>(std::floor((center.y - radius) / cell_size_));
-  const auto hi_y = static_cast<std::int64_t>(std::floor((center.y + radius) / cell_size_));
-  for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
-    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
-      const CellKey key = (cx << 32) ^ (cy & 0xffffffffLL);
-      auto it = cells_.find(key);
-      if (it == cells_.end()) continue;
-      for (Id id : it->second) {
-        const Vec2 p = positions_.at(id);
-        if ((p - center).norm_sq() < r2) out.push_back(id);
-      }
-    }
-  }
-  std::sort(out.begin(), out.end());
+  query_radius_into(center, radius, kNoExclude, out);
   return out;
 }
 
 std::vector<SpatialGrid::Id> SpatialGrid::query_radius(Vec2 center, double radius,
                                                        Id exclude) const {
-  std::vector<Id> out = query_radius(center, radius);
-  out.erase(std::remove(out.begin(), out.end(), exclude), out.end());
+  std::vector<Id> out;
+  query_radius_into(center, radius, exclude, out);
   return out;
 }
 

@@ -3,6 +3,11 @@
 // The wireless channel asks "who is within r of this transmitter?" once per
 // transmission; a grid with cell size ~= the query radius answers that in
 // O(points in the 3x3 neighborhood) instead of O(N).
+//
+// Point records live in a dense vector indexed by id (ids are expected to be
+// small and dense — node ids are), with the current cell key cached per
+// point: the per-tick update() re-bucketing touches the hash map only when a
+// point actually crosses a cell boundary, and position reads never hash.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +27,14 @@ class SpatialGrid {
 
   /// Insert `id` at `pos`; `id` must not already be present.
   void insert(Id id, Vec2 pos);
-  /// Move `id` to `pos`; `id` must be present.
+  /// Move `id` to `pos`; `id` must be present. No hashing unless the cell
+  /// changed.
   void update(Id id, Vec2 pos);
   /// Remove `id`; `id` must be present.
   void remove(Id id);
-  bool contains(Id id) const { return positions_.contains(id); }
+  bool contains(Id id) const {
+    return id < slots_.size() && slots_[id].present;
+  }
   Vec2 position(Id id) const;
 
   /// Ids strictly within `radius` of `center` (excluding `exclude` if given).
@@ -34,15 +42,30 @@ class SpatialGrid {
   std::vector<Id> query_radius(Vec2 center, double radius) const;
   std::vector<Id> query_radius(Vec2 center, double radius, Id exclude) const;
 
-  std::size_t size() const { return positions_.size(); }
+  /// `exclude` value meaning "exclude nothing" for query_radius_into.
+  static constexpr Id kNoExclude = static_cast<Id>(-1);
+
+  /// As query_radius, but replaces the contents of `out` instead of
+  /// allocating — the hot-path form (reception fan-out runs once per frame).
+  void query_radius_into(Vec2 center, double radius, Id exclude,
+                         std::vector<Id>& out) const;
+
+  std::size_t size() const { return count_; }
 
  private:
   using CellKey = std::int64_t;
+  struct Slot {
+    Vec2 pos;
+    CellKey cell = 0;
+    bool present = false;
+  };
+
   CellKey key_for(Vec2 pos) const;
 
   double cell_size_;
   std::unordered_map<CellKey, std::vector<Id>> cells_;
-  std::unordered_map<Id, Vec2> positions_;
+  std::vector<Slot> slots_;  ///< indexed by id
+  std::size_t count_ = 0;
 };
 
 }  // namespace vanet::core

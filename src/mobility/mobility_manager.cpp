@@ -1,5 +1,7 @@
 #include "mobility/mobility_manager.h"
 
+#include <algorithm>
+
 #include "core/assert.h"
 
 namespace vanet::mobility {
@@ -33,15 +35,18 @@ void MobilityManager::on_tick() {
 }
 
 void MobilityManager::rebuild_index() {
-  index_.clear();
   const auto& vs = model_->vehicles();
-  for (std::size_t i = 0; i < vs.size(); ++i) index_[vs[i].id] = i;
+  std::fill(index_.begin(), index_.end(), kNoVehicle);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const VehicleId id = vs[i].id;
+    if (id >= index_.size()) index_.resize(id + 1, kNoVehicle);
+    index_[id] = i;
+  }
 }
 
 const VehicleState& MobilityManager::state(VehicleId id) const {
-  auto it = index_.find(id);
-  VANET_ASSERT_MSG(it != index_.end(), "unknown vehicle id");
-  return model_->vehicles()[it->second];
+  VANET_ASSERT_MSG(has_vehicle(id), "unknown vehicle id");
+  return model_->vehicles()[index_[id]];
 }
 
 void MobilityManager::add_tick_listener(std::function<void(core::SimTime)> fn) {

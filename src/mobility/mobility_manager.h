@@ -5,9 +5,9 @@
 // spatial grid and check link breaks).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/rng.h"
@@ -31,7 +31,9 @@ class MobilityManager {
   const MobilityModel& model() const { return *model_; }
 
   const VehicleState& state(VehicleId id) const;
-  bool has_vehicle(VehicleId id) const { return index_.contains(id); }
+  bool has_vehicle(VehicleId id) const {
+    return id < index_.size() && index_[id] != kNoVehicle;
+  }
   const std::vector<VehicleState>& vehicles() const { return model_->vehicles(); }
   core::SimTime tick_interval() const { return tick_; }
 
@@ -39,6 +41,8 @@ class MobilityManager {
   void add_tick_listener(std::function<void(core::SimTime)> fn);
 
  private:
+  static constexpr std::size_t kNoVehicle = static_cast<std::size_t>(-1);
+
   void on_tick();
   void rebuild_index();
 
@@ -48,7 +52,9 @@ class MobilityManager {
   core::SimTime tick_;
   core::EventHandle pending_;
   bool running_ = false;
-  std::unordered_map<VehicleId, std::size_t> index_;
+  /// id -> index into model vehicles(); dense vector so the per-tick rebuild
+  /// never hashes (ids are small and stable over a model's lifetime).
+  std::vector<std::size_t> index_;
   std::vector<std::function<void(core::SimTime)>> listeners_;
 };
 

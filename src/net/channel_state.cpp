@@ -1,0 +1,119 @@
+#include "net/channel_state.h"
+
+#include <algorithm>
+
+#include "core/assert.h"
+#include "core/grid_key.h"
+
+namespace vanet::net {
+
+namespace {
+
+// Heap comparator: std::*_heap build a max-heap, so order by *later* end
+// time being "smaller" to get a min-heap on end.
+struct EndsLater {
+  const std::vector<ChannelState::Tx>& slots;
+  bool operator()(ChannelState::Handle a, ChannelState::Handle b) const {
+    return slots[a].end > slots[b].end;
+  }
+};
+
+}  // namespace
+
+ChannelState::ChannelState(double interference_range)
+    : cell_size_{interference_range} {
+  VANET_ASSERT(interference_range > 0.0);
+}
+
+ChannelState::CellKey ChannelState::key_for(core::Vec2 pos) const {
+  return core::grid_cell_key(core::grid_cell_coord(pos.x, cell_size_),
+                             core::grid_cell_coord(pos.y, cell_size_));
+}
+
+ChannelState::Handle ChannelState::add(NodeId tx, core::SimTime start,
+                                       core::SimTime end, core::Vec2 pos) {
+  Handle h;
+  if (!free_slots_.empty()) {
+    h = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[h] = Tx{tx, start, end, pos};
+  } else {
+    h = static_cast<Handle>(slots_.size());
+    slots_.push_back(Tx{tx, start, end, pos});
+    slot_cell_.push_back(0);
+  }
+  const CellKey key = key_for(pos);
+  slot_cell_[h] = key;
+  cells_[key].push_back(h);
+  by_end_.push_back(h);
+  std::push_heap(by_end_.begin(), by_end_.end(), EndsLater{slots_});
+  ++live_count_;
+  return h;
+}
+
+const ChannelState::Tx& ChannelState::get(Handle h) const {
+  VANET_ASSERT_MSG(h < slots_.size(), "invalid channel handle");
+  return slots_[h];
+}
+
+template <typename Fn>
+void ChannelState::for_each_in_neighborhood(core::Vec2 pos, Fn&& fn) const {
+  const std::int64_t ccx = core::grid_cell_coord(pos.x, cell_size_);
+  const std::int64_t ccy = core::grid_cell_coord(pos.y, cell_size_);
+  for (std::int64_t cx = ccx - 1; cx <= ccx + 1; ++cx) {
+    for (std::int64_t cy = ccy - 1; cy <= ccy + 1; ++cy) {
+      const auto it = cells_.find(core::grid_cell_key(cx, cy));
+      if (it == cells_.end()) continue;
+      for (const Handle h : it->second) {
+        if (fn(h)) return;
+      }
+    }
+  }
+}
+
+core::SimTime ChannelState::busy_until(core::Vec2 pos, core::SimTime now,
+                                       double range) const {
+  VANET_ASSERT(range <= cell_size_);
+  core::SimTime busy = core::SimTime::zero();
+  for_each_in_neighborhood(pos, [&](Handle h) {
+    const Tx& t = slots_[h];
+    if (t.end > now &&
+        // norm() <= range: the MAC's historical inclusive-sqrt comparison.
+        (t.pos - pos).norm() <= range) {
+      busy = std::max(busy, t.end);
+    }
+    return false;
+  });
+  return busy;
+}
+
+bool ChannelState::interference_at(core::Vec2 pos, core::SimTime start,
+                                   core::SimTime end, double range,
+                                   Handle self) const {
+  VANET_ASSERT(range <= cell_size_);
+  bool hit = false;
+  for_each_in_neighborhood(pos, [&](Handle h) {
+    if (h == self) return false;
+    const Tx& t = slots_[h];
+    if (t.start < end && t.end > start && (t.pos - pos).norm() <= range) {
+      hit = true;
+      return true;
+    }
+    return false;
+  });
+  return hit;
+}
+
+void ChannelState::prune(core::SimTime horizon) {
+  while (!by_end_.empty() && slots_[by_end_.front()].end < horizon) {
+    std::pop_heap(by_end_.begin(), by_end_.end(), EndsLater{slots_});
+    const Handle h = by_end_.back();
+    by_end_.pop_back();
+    auto& bucket = cells_[slot_cell_[h]];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), h));
+    free_slots_.push_back(h);
+    --live_count_;
+  }
+}
+
+}  // namespace vanet::net

@@ -1,0 +1,93 @@
+// Time-pruned, grid-bucketed index of transmissions on the shared channel.
+//
+// The MAC asks two questions per frame: "how long is the channel busy at this
+// position?" (carrier sense) and "did any other transmission audible at this
+// receiver overlap this frame in time?" (collision). Both only care about
+// transmissions within the interference range, so entries are bucketed in a
+// uniform grid with cell size >= that range and a query scans the 3x3 cell
+// neighborhood instead of every active transmission in the network — the
+// linear `active_` scans this replaces were the dominant cost of dense
+// scenarios. Finished transmissions stay queryable until prune() passes their
+// end time, because collision checks look back at frames that ended while the
+// probed frame was still in flight.
+//
+// Determinism: queries compute a max / an existence test over a set that is
+// identical to the brute-force scan (distance cutoffs are inclusive, matching
+// the MAC's historical `<=` semantics), so replacing the scans changes no
+// simulation outcome.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "core/vec2.h"
+#include "net/packet.h"
+
+namespace vanet::net {
+
+class ChannelState {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kInvalidHandle =
+      std::numeric_limits<Handle>::max();
+
+  struct Tx {
+    NodeId tx = 0;
+    core::SimTime start{};
+    core::SimTime end{};
+    core::Vec2 pos;
+  };
+
+  /// `interference_range` is the largest radius queries will use (cell size).
+  explicit ChannelState(double interference_range);
+
+  /// Register a transmission; the handle stays valid until prune() passes
+  /// `end` (a node keeps the handle of its in-flight frame).
+  Handle add(NodeId tx, core::SimTime start, core::SimTime end,
+             core::Vec2 pos);
+
+  const Tx& get(Handle h) const;
+
+  /// Latest end time among transmissions still on the air (end > now) within
+  /// `range` (inclusive) of `pos`; zero time when the channel is idle there.
+  core::SimTime busy_until(core::Vec2 pos, core::SimTime now,
+                           double range) const;
+
+  /// True when any transmission other than `self` overlaps (start, end) in
+  /// time and is within `range` (inclusive) of `pos`.
+  bool interference_at(core::Vec2 pos, core::SimTime start, core::SimTime end,
+                       double range, Handle self) const;
+
+  /// Drop every transmission that ended before `horizon`.
+  void prune(core::SimTime horizon);
+
+  std::size_t size() const { return live_count_; }
+
+ private:
+  using CellKey = std::int64_t;
+
+  CellKey key_for(core::Vec2 pos) const;
+
+  /// Invoke `fn(handle)` for every entry bucketed in the 3x3 cell
+  /// neighborhood of `pos` — a superset of all entries within cell_size_ of
+  /// it, which is why queries assert range <= cell_size_. Stops early when
+  /// `fn` returns true. Both MAC queries go through this one scan so they
+  /// can never disagree on the candidate set.
+  template <typename Fn>
+  void for_each_in_neighborhood(core::Vec2 pos, Fn&& fn) const;
+
+  double cell_size_;
+  std::vector<Tx> slots_;
+  std::vector<CellKey> slot_cell_;      ///< bucket of each slot
+  std::vector<Handle> free_slots_;
+  std::unordered_map<CellKey, std::vector<Handle>> cells_;
+  /// Min-heap on end time (lazily ordered: a plain heap via std::push_heap),
+  /// so prune() pops only expired entries instead of rescanning everything.
+  std::vector<Handle> by_end_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace vanet::net

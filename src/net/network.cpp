@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/assert.h"
 
@@ -11,11 +12,14 @@ Network::Network(core::Simulator& sim, mobility::MobilityManager* mobility,
                  NetworkConfig cfg)
     : sim_{sim},
       mobility_{mobility},
-      propagation_{std::move(propagation)},
+      propagation_{(VANET_ASSERT(propagation != nullptr),
+                    std::move(propagation))},
       rng_{rng},
       cfg_{cfg},
-      grid_{std::max(50.0, propagation_->max_range())} {
-  VANET_ASSERT(propagation_ != nullptr);
+      interference_range_{propagation_->max_range() *
+                          cfg_.interference_range_factor},
+      grid_{std::max(50.0, propagation_->max_range())},
+      channel_{interference_range_} {
   VANET_ASSERT(cfg_.bitrate_bps > 0.0);
   VANET_ASSERT(cfg_.interference_range_factor >= 1.0);
   if (mobility_ != nullptr) {
@@ -42,7 +46,9 @@ NodeId Network::add_vehicle_node(mobility::VehicleId vid) {
   node.id = id;
   node.vehicle = vid;
   nodes_.push_back(std::move(node));
-  grid_.insert(id, mobility_->state(vid).pos);
+  const core::Vec2 pos = mobility_->state(vid).pos;
+  pos_cache_.push_back(pos);
+  grid_.insert(id, pos);
   return id;
 }
 
@@ -53,6 +59,7 @@ NodeId Network::add_rsu(core::Vec2 pos) {
   node.rsu = true;
   node.fixed_pos = pos;
   nodes_.push_back(std::move(node));
+  pos_cache_.push_back(pos);
   grid_.insert(id, pos);
   return id;
 }
@@ -81,8 +88,8 @@ std::vector<NodeId> Network::rsu_ids() const {
 bool Network::is_rsu(NodeId id) const { return impl(id).rsu; }
 
 core::Vec2 Network::position(NodeId id) const {
-  const NodeImpl& n = impl(id);
-  return n.rsu ? n.fixed_pos : mobility_->state(n.vehicle).pos;
+  VANET_ASSERT_MSG(id < pos_cache_.size(), "unknown node id");
+  return pos_cache_[id];
 }
 
 core::Vec2 Network::velocity(NodeId id) const {
@@ -104,8 +111,14 @@ void Network::set_unicast_fail_handler(NodeId id, UnicastFailHandler fn) {
 }
 
 void Network::on_mobility_tick() {
-  for (const auto& n : nodes_) {
-    if (!n.rsu) grid_.update(n.id, mobility_->state(n.vehicle).pos);
+  // One pass over the model's state vector instead of a per-node hash lookup:
+  // refresh the position cache and the spatial index together.
+  for (const auto& v : mobility_->vehicles()) {
+    if (v.id >= nodes_.size()) continue;
+    const NodeImpl& n = nodes_[v.id];
+    if (n.rsu || n.vehicle != v.id) continue;
+    pos_cache_[v.id] = v.pos;
+    grid_.update(v.id, v.pos);
   }
 }
 
@@ -151,41 +164,26 @@ void Network::schedule_attempt(NodeImpl& node, core::SimTime delay) {
   sim_.schedule(delay, [this, id] { attempt_transmission(id); });
 }
 
-core::SimTime Network::channel_busy_until(core::Vec2 pos) const {
-  const core::SimTime now = sim_.now();
-  const double sense_range =
-      propagation_->max_range() * cfg_.interference_range_factor;
-  core::SimTime busy = core::SimTime::zero();
-  for (const auto& tx : active_) {
-    if (tx.end <= now) continue;
-    if ((tx.pos - pos).norm() <= sense_range) busy = std::max(busy, tx.end);
-  }
-  return busy;
-}
-
-void Network::prune_active() {
-  // Keep recently finished transmissions long enough for overlap checks:
-  // the longest frame at the configured bitrate is well under 50 ms.
-  const core::SimTime horizon = sim_.now() - core::SimTime::millis(50);
-  std::erase_if(active_, [&](const ActiveTx& t) { return t.end < horizon; });
-}
-
 void Network::attempt_transmission(NodeId id) {
   NodeImpl& node = impl(id);
   node.attempt_pending = false;
   if (node.transmitting || node.queue.empty()) return;
-  const core::Vec2 pos = position(id);
-  const core::SimTime busy_until = channel_busy_until(pos);
   const core::SimTime now = sim_.now();
+  // Prune before sensing so stale finished transmissions are not scanned.
+  // Keep recently finished transmissions long enough for overlap checks:
+  // the longest frame at the configured bitrate is well under 50 ms.
+  channel_.prune(now - core::SimTime::millis(50));
+  const core::Vec2 pos = position(id);
+  const core::SimTime busy_until =
+      channel_.busy_until(pos, now, interference_range_);
   if (busy_until > now) {
     schedule_attempt(node,
                      busy_until - now + cfg_.slot_time + random_backoff(rng_));
     return;
   }
-  prune_active();
   const Packet& p = node.queue.front().packet;
   const core::SimTime duration = frame_duration(p);
-  active_.push_back(ActiveTx{id, now, now + duration, pos});
+  node.current_tx = channel_.add(id, now, now + duration, pos);
   node.transmitting = true;
   node.tx_until = now + duration;
   count_sent(p);
@@ -200,23 +198,20 @@ void Network::finish_transmission(NodeId id) {
   QueuedFrame& frame = node.queue.front();
   const Packet packet = frame.packet;
 
-  // Locate our ActiveTx entry (unique: a node transmits one frame at a time).
+  // Our channel record, stored at transmit time (a lookup by end time could
+  // alias when two frames end at the same instant).
   const core::SimTime now = sim_.now();
-  const ActiveTx* self_tx = nullptr;
-  for (const auto& t : active_) {
-    if (t.tx == id && t.end == now) {
-      self_tx = &t;
-      break;
-    }
-  }
-  VANET_ASSERT_MSG(self_tx != nullptr, "missing active transmission record");
-  const ActiveTx tx = *self_tx;
+  VANET_ASSERT_MSG(node.current_tx != ChannelState::kInvalidHandle,
+                   "missing active transmission record");
+  const ChannelState::Handle self_tx = node.current_tx;
+  node.current_tx = ChannelState::kInvalidHandle;
+  const ChannelState::Tx tx = channel_.get(self_tx);
 
-  const double interference_range =
-      propagation_->max_range() * cfg_.interference_range_factor;
+  const bool fade_free = propagation_->always_receives_in_range();
   bool intended_received = false;
 
-  for (NodeId cand : grid_.query_radius(tx.pos, propagation_->max_range(), id)) {
+  grid_.query_radius_into(tx.pos, propagation_->max_range(), id, rx_scratch_);
+  for (NodeId cand : rx_scratch_) {
     NodeImpl& rx_node = impl(cand);
     // Half duplex: a node transmitting during our frame cannot receive it.
     if (rx_node.transmitting ||
@@ -224,22 +219,14 @@ void Network::finish_transmission(NodeId id) {
       continue;
     }
     const core::Vec2 rx_pos = position(cand);
-    const double distance = (rx_pos - tx.pos).norm();
-    if (!propagation_->try_receive(distance, rng_)) {
+    if (!fade_free &&
+        !propagation_->try_receive((rx_pos - tx.pos).norm(), rng_)) {
       ++counters_.receptions_faded;
       continue;
     }
     // Collision: any other transmission overlapping ours, audible at rx.
-    bool collided = false;
-    for (const auto& other : active_) {
-      if (other.tx == id && other.start == tx.start) continue;
-      if (other.start < tx.end && other.end > tx.start &&
-          (other.pos - rx_pos).norm() <= interference_range) {
-        collided = true;
-        break;
-      }
-    }
-    if (collided) {
+    if (channel_.interference_at(rx_pos, tx.start, tx.end, interference_range_,
+                                 self_tx)) {
       ++counters_.receptions_collided;
       continue;
     }
@@ -317,6 +304,52 @@ bool Network::reachable(NodeId from, NodeId to, double range) const {
     }
   }
   return false;
+}
+
+std::vector<std::uint32_t> Network::reachability_components(double range) const {
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  // CSR adjacency of the range-disk graph: one grid query per node instead of
+  // one BFS (each redoing those queries) per reachability probe.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(n * 4);
+  std::vector<NodeId> neighbors;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    grid_.query_radius_into(pos_cache_[u], range, u, neighbors);
+    adjacency.insert(adjacency.end(), neighbors.begin(), neighbors.end());
+    offsets[u + 1] = static_cast<std::uint32_t>(adjacency.size());
+  }
+
+  constexpr auto kUnlabeled = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> labels(n, kUnlabeled);
+  const bool backbone_live = !backbone_.empty();
+  std::vector<NodeId> stack;
+  std::uint32_t next_label = 0;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (labels[root] != kUnlabeled) continue;
+    const std::uint32_t label = next_label++;
+    labels[root] = label;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId v) {
+        if (labels[v] == kUnlabeled) {
+          labels[v] = label;
+          stack.push_back(v);
+        }
+      };
+      for (std::uint32_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+        visit(adjacency[k]);
+      }
+      if (backbone_live && nodes_[u].rsu) {
+        for (NodeId v : backbone_) {
+          if (v != u) visit(v);
+        }
+      }
+    }
+  }
+  return labels;
 }
 
 }  // namespace vanet::net

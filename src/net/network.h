@@ -29,6 +29,7 @@
 #include "core/spatial_grid.h"
 #include "core/vec2.h"
 #include "mobility/mobility_manager.h"
+#include "net/channel_state.h"
 #include "net/packet.h"
 #include "net/propagation.h"
 
@@ -114,6 +115,12 @@ class Network {
   /// routing protocol can never deliver between nodes this returns false for.
   bool reachable(NodeId from, NodeId to, double range) const;
 
+  /// Connected-component label per node of the `range`-disk graph (backbone
+  /// links included): `labels[a] == labels[b]` iff `reachable(a, b, range)`.
+  /// Builds one CSR adjacency and labels all components in a single
+  /// traversal — the batch form of `reachable` for many-pair queries.
+  std::vector<std::uint32_t> reachability_components(double range) const;
+
   const NetCounters& counters() const { return counters_; }
   core::Simulator& simulator() { return sim_; }
 
@@ -133,12 +140,8 @@ class Network {
     bool transmitting = false;
     core::SimTime tx_until{};
     bool attempt_pending = false;
-  };
-  struct ActiveTx {
-    NodeId tx = 0;
-    core::SimTime start{};
-    core::SimTime end{};
-    core::Vec2 pos;
+    /// Channel record of the in-flight frame while `transmitting`.
+    ChannelState::Handle current_tx = ChannelState::kInvalidHandle;
   };
 
   NodeImpl& impl(NodeId id);
@@ -147,10 +150,7 @@ class Network {
   void schedule_attempt(NodeImpl& node, core::SimTime delay);
   void attempt_transmission(NodeId id);
   void finish_transmission(NodeId id);
-  /// Latest end time of any transmission audible at `pos`, or zero time.
-  core::SimTime channel_busy_until(core::Vec2 pos) const;
   core::SimTime frame_duration(const Packet& p) const;
-  void prune_active();
   core::SimTime random_backoff(core::Rng& rng) const;
   void count_sent(const Packet& p);
 
@@ -159,10 +159,18 @@ class Network {
   std::unique_ptr<PropagationModel> propagation_;
   core::Rng& rng_;
   NetworkConfig cfg_;
+  /// max_range * interference_range_factor, cached off the virtual call; the
+  /// carrier-sense and collision radius, and the channel index cell size.
+  double interference_range_;
   std::vector<NodeImpl> nodes_;
   core::SpatialGrid grid_;
-  std::vector<ActiveTx> active_;
+  ChannelState channel_;
+  /// Node positions refreshed once per mobility tick (vehicles only move on
+  /// ticks, so this is exact) — position() is O(1) with no hash lookup.
+  std::vector<core::Vec2> pos_cache_;
   std::vector<NodeId> backbone_;
+  /// Reusable reception-candidate buffer (one fan-out per finished frame).
+  std::vector<NodeId> rx_scratch_;
   std::uint64_t next_uid_ = 1;
   NetCounters counters_;
 };

@@ -30,6 +30,13 @@ class PropagationModel {
 
   /// Analytic receipt probability at `distance`.
   virtual double receipt_probability(double distance) const = 0;
+
+  /// True when every reception within max_range() succeeds without consuming
+  /// randomness (deterministic models). The MAC uses this to skip the
+  /// per-candidate virtual draw — and the distance sqrt feeding it — on the
+  /// reception hot path; it must never be true for a model whose
+  /// try_receive() can fail inside max_range() or draws from the RNG.
+  virtual bool always_receives_in_range() const { return false; }
 };
 
 /// Deterministic disk: received iff distance <= range.
@@ -41,6 +48,7 @@ class UnitDiskModel final : public PropagationModel {
   double nominal_range() const override { return range_; }
   bool try_receive(double distance, core::Rng& rng) const override;
   double receipt_probability(double distance) const override;
+  bool always_receives_in_range() const override { return true; }
 
  private:
   double range_;

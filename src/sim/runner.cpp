@@ -1,5 +1,6 @@
 #include "sim/runner.h"
 
+#include <chrono>
 #include <numeric>
 
 #include "sim/experiment.h"
@@ -43,6 +44,19 @@ AggregateReport run_seeds(const ScenarioConfig& base,
   ExperimentEngine engine{1};
   ExperimentResult result = engine.run(spec);
   return std::move(result.cells.at(0).agg);
+}
+
+TimedRun run_timed(const ScenarioConfig& cfg) {
+  TimedRun out;
+  Scenario scenario{cfg};
+  out.vehicles = scenario.vehicle_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  scenario.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.events_dispatched = scenario.simulator().events_dispatched();
+  out.report = scenario.report();
+  return out;
 }
 
 AggregateReport run_seeds(const ScenarioConfig& base, int n_seeds) {

@@ -43,4 +43,18 @@ AggregateReport run_seeds(const ScenarioConfig& base,
 /// Convenience: seeds 1..n.
 AggregateReport run_seeds(const ScenarioConfig& base, int n_seeds);
 
+/// One instrumented scenario run: the report plus the raw throughput
+/// numbers the perf harness tracks (bench_scenario_throughput, CI smoke).
+struct TimedRun {
+  ScenarioReport report;
+  double wall_s = 0.0;                  ///< wall-clock time inside run()
+  std::uint64_t events_dispatched = 0;  ///< simulator events processed
+  std::size_t vehicles = 0;
+  double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events_dispatched) / wall_s : 0.0;
+  }
+};
+
+TimedRun run_timed(const ScenarioConfig& cfg);
+
 }  // namespace vanet::sim

@@ -2,10 +2,68 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "core/assert.h"
 
 namespace vanet::sim {
+
+namespace {
+
+void append_field(std::string& out, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += name;
+  out += '=';
+  out += buf;
+  out += '\n';
+}
+
+void append_field(std::string& out, const char* name, std::uint64_t v) {
+  out += name;
+  out += '=';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string canonical_report_string(const ScenarioReport& r) {
+  std::string out;
+  out += "protocol=" + r.protocol + "\n";
+  append_field(out, "pdr", r.pdr);
+  append_field(out, "delay_ms_mean", r.delay_ms_mean);
+  append_field(out, "delay_ms_p95_hint", r.delay_ms_p95_hint);
+  append_field(out, "hops_mean", r.hops_mean);
+  append_field(out, "originated", r.originated);
+  append_field(out, "delivered", r.delivered);
+  append_field(out, "control_frames", r.control_frames);
+  append_field(out, "hello_frames", r.hello_frames);
+  append_field(out, "data_frames", r.data_frames);
+  append_field(out, "backbone_frames", r.backbone_frames);
+  append_field(out, "receptions_ok", r.receptions_ok);
+  append_field(out, "control_per_delivered", r.control_per_delivered);
+  append_field(out, "collision_fraction", r.collision_fraction);
+  append_field(out, "reachable_fraction", r.reachable_fraction);
+  append_field(out, "route_breaks", r.route_breaks);
+  append_field(out, "discoveries", r.discoveries);
+  append_field(out, "preemptive_rebuilds", r.preemptive_rebuilds);
+  append_field(out, "predicted_lifetime_mean_s", r.predicted_lifetime_mean_s);
+  append_field(out, "observed_lifetime_mean_s", r.observed_lifetime_mean_s);
+  return out;
+}
+
+std::string report_digest(const ScenarioReport& r) {
+  const std::string canonical = canonical_report_string(r);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string{buf};
+}
 
 Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} {
   build_mobility();
@@ -185,10 +243,15 @@ void Scenario::build_traffic() {
 }
 
 void Scenario::sample_reachability() {
-  for (const auto& flow : traffic_->flows()) {
-    ++total_samples_;
-    if (net_->reachable(flow.src, flow.dst, net_->nominal_range())) {
-      ++reachable_samples_;
+  const auto& flows = traffic_->flows();
+  if (!flows.empty()) {
+    // One component labeling answers every flow at this instant; running a
+    // BFS per flow re-derived the same adjacency per pair.
+    const std::vector<std::uint32_t> labels =
+        net_->reachability_components(net_->nominal_range());
+    for (const auto& flow : flows) {
+      ++total_samples_;
+      if (labels[flow.src] == labels[flow.dst]) ++reachable_samples_;
     }
   }
   sim_.schedule(core::SimTime::seconds(1.0), [this] { sample_reachability(); });

@@ -83,6 +83,16 @@ struct ScenarioReport {
   double observed_lifetime_mean_s = 0.0;
 };
 
+/// Canonical, lossless textual form of a report: every field on one
+/// `name=value` line, doubles rendered as hexfloats so two reports compare
+/// byte-identically iff they are bit-identical.
+std::string canonical_report_string(const ScenarioReport& r);
+
+/// 64-bit FNV-1a digest of canonical_report_string(), as 16 lowercase hex
+/// chars. The determinism golden test and the throughput bench use this to
+/// prove perf refactors leave the physics untouched.
+std::string report_digest(const ScenarioReport& r);
+
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig cfg);

@@ -1,0 +1,139 @@
+// ChannelState: the grid-bucketed interference index behind carrier sense
+// and collision checks. Property-tested against the brute-force scans it
+// replaced in Network.
+#include "net/channel_state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace vanet::net {
+namespace {
+
+using core::SimTime;
+using core::Vec2;
+
+TEST(ChannelState, BusyUntilSeesOnlyAudibleLiveTransmissions) {
+  ChannelState cs{100.0};
+  // In range, on the air until t=5.
+  cs.add(0, SimTime::seconds(1.0), SimTime::seconds(5.0), {0.0, 0.0});
+  // In range but already finished at the probe time.
+  cs.add(1, SimTime::seconds(0.0), SimTime::seconds(2.0), {10.0, 0.0});
+  // Out of range.
+  cs.add(2, SimTime::seconds(1.0), SimTime::seconds(9.0), {500.0, 0.0});
+
+  const SimTime busy =
+      cs.busy_until({50.0, 0.0}, SimTime::seconds(3.0), 100.0);
+  EXPECT_EQ(busy, SimTime::seconds(5.0));
+  // Idle once the frame ends.
+  EXPECT_EQ(cs.busy_until({50.0, 0.0}, SimTime::seconds(5.0), 100.0),
+            SimTime::zero());
+}
+
+TEST(ChannelState, BusyUntilRangeIsInclusive) {
+  ChannelState cs{100.0};
+  cs.add(0, SimTime::zero(), SimTime::seconds(1.0), {100.0, 0.0});
+  // Exactly at the sense range: audible (<=), matching the MAC's semantics.
+  EXPECT_EQ(cs.busy_until({0.0, 0.0}, SimTime::zero(), 100.0),
+            SimTime::seconds(1.0));
+}
+
+TEST(ChannelState, InterferenceExcludesSelfAndNonOverlapping) {
+  ChannelState cs{100.0};
+  const auto self =
+      cs.add(0, SimTime::seconds(2.0), SimTime::seconds(3.0), {0.0, 0.0});
+  // Only our own frame on the air: no interference.
+  EXPECT_FALSE(cs.interference_at({10.0, 0.0}, SimTime::seconds(2.0),
+                                  SimTime::seconds(3.0), 100.0, self));
+  // A frame that ended before ours began does not interfere...
+  cs.add(1, SimTime::seconds(0.0), SimTime::seconds(2.0), {20.0, 0.0});
+  EXPECT_FALSE(cs.interference_at({10.0, 0.0}, SimTime::seconds(2.0),
+                                  SimTime::seconds(3.0), 100.0, self));
+  // ...but an overlapping one audible at the receiver does.
+  cs.add(2, SimTime::seconds(2.5), SimTime::seconds(2.6), {30.0, 0.0});
+  EXPECT_TRUE(cs.interference_at({10.0, 0.0}, SimTime::seconds(2.0),
+                                 SimTime::seconds(3.0), 100.0, self));
+  // Out of interference range: inaudible.
+  EXPECT_FALSE(cs.interference_at({500.0, 0.0}, SimTime::seconds(2.0),
+                                  SimTime::seconds(3.0), 100.0, self));
+}
+
+TEST(ChannelState, PruneDropsOnlyEntriesEndedBeforeHorizon) {
+  ChannelState cs{100.0};
+  cs.add(0, SimTime::zero(), SimTime::seconds(1.0), {0.0, 0.0});
+  cs.add(1, SimTime::zero(), SimTime::seconds(2.0), {0.0, 0.0});
+  cs.add(2, SimTime::zero(), SimTime::seconds(3.0), {0.0, 0.0});
+  EXPECT_EQ(cs.size(), 3u);
+  cs.prune(SimTime::seconds(2.0));  // drops end=1 only (end < horizon)
+  EXPECT_EQ(cs.size(), 2u);
+  // The end=2 entry survived and still answers overlap queries.
+  EXPECT_TRUE(cs.interference_at({0.0, 0.0}, SimTime::seconds(1.5),
+                                 SimTime::seconds(2.5), 100.0,
+                                 ChannelState::kInvalidHandle));
+  cs.prune(SimTime::seconds(10.0));
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(ChannelState, HandlesStayValidAcrossSlotReuse) {
+  ChannelState cs{100.0};
+  const auto a = cs.add(7, SimTime::zero(), SimTime::seconds(1.0), {1.0, 2.0});
+  cs.prune(SimTime::seconds(5.0));
+  // The freed slot is reused; the new handle reads back the new record.
+  const auto b =
+      cs.add(9, SimTime::seconds(6.0), SimTime::seconds(7.0), {3.0, 4.0});
+  EXPECT_EQ(a, b);  // slot reuse is expected...
+  EXPECT_EQ(cs.get(b).tx, 9u);
+  EXPECT_EQ(cs.get(b).pos, (Vec2{3.0, 4.0}));
+}
+
+// Property: busy_until and interference_at match brute-force scans over a
+// random transmission soup, across positions near cell boundaries.
+TEST(ChannelState, MatchesBruteForce) {
+  const double range = 150.0;
+  ChannelState cs{range};
+  core::Rng rng{42};
+  struct Entry {
+    ChannelState::Handle h;
+    NodeId tx;
+    SimTime start, end;
+    Vec2 pos;
+  };
+  std::vector<Entry> entries;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 pos{rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0)};
+    const SimTime start = SimTime::millis(rng.uniform_int(0, 1000));
+    const SimTime end = start + SimTime::millis(rng.uniform_int(1, 50));
+    const auto h = cs.add(static_cast<NodeId>(i), start, end, pos);
+    entries.push_back({h, static_cast<NodeId>(i), start, end, pos});
+  }
+  for (int probe = 0; probe < 100; ++probe) {
+    const Vec2 pos{rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0)};
+    const SimTime now = SimTime::millis(rng.uniform_int(0, 1050));
+
+    SimTime expect_busy = SimTime::zero();
+    for (const Entry& e : entries) {
+      if (e.end <= now) continue;
+      if ((e.pos - pos).norm() <= range) expect_busy = std::max(expect_busy, e.end);
+    }
+    EXPECT_EQ(cs.busy_until(pos, now, range), expect_busy);
+
+    const SimTime qstart = now;
+    const SimTime qend = now + SimTime::millis(20);
+    const auto self = entries[static_cast<std::size_t>(probe % 200)].h;
+    bool expect_hit = false;
+    for (const Entry& e : entries) {
+      if (e.h == self) continue;
+      if (e.start < qend && e.end > qstart && (e.pos - pos).norm() <= range) {
+        expect_hit = true;
+        break;
+      }
+    }
+    EXPECT_EQ(cs.interference_at(pos, qstart, qend, range, self), expect_hit);
+  }
+}
+
+}  // namespace
+}  // namespace vanet::net

@@ -1,0 +1,124 @@
+// Fixed-seed determinism lock: ScenarioReport digests for a set of pinned
+// configurations must match the committed reference in
+// tests/golden/report_digests.txt.
+//
+// This is the guard that lets hot-path refactors proceed safely: any change
+// to RNG draw order, channel semantics, candidate sets or float evaluation
+// shows up here as a digest mismatch. If a *deliberate* physics change is
+// made, regenerate the reference with:
+//   VANET_UPDATE_GOLDEN=1 ./vanet_tests --gtest_filter='GoldenReport.*'
+// and commit the diff with an explanation of why the physics moved.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/scenario.h"
+
+#ifndef VANET_SOURCE_DIR
+#error "VANET_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace vanet::sim {
+namespace {
+
+std::string golden_path() {
+  return std::string{VANET_SOURCE_DIR} + "/tests/golden/report_digests.txt";
+}
+
+std::map<std::string, ScenarioConfig> golden_configs() {
+  std::map<std::string, ScenarioConfig> configs;
+  {
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kHighway;
+    cfg.vehicles_per_direction = 12;
+    cfg.rsu_count = 2;
+    cfg.protocol = "aodv";
+    cfg.traffic.stop_s = 15.0;
+    configs["highway-aodv-rsu"] = cfg;
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.vehicles = 30;
+    cfg.shadowing = true;
+    cfg.protocol = "greedy";
+    cfg.traffic.stop_s = 15.0;
+    configs["manhattan-greedy-shadowing"] = cfg;
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.seed = 1337;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.vehicles = 30;
+    cfg.protocol = "yan";
+    cfg.traffic.stop_s = 15.0;
+    configs["manhattan-yan"] = cfg;
+  }
+  return configs;
+}
+
+std::map<std::string, std::string> load_reference() {
+  std::map<std::string, std::string> ref;
+  std::ifstream in{golden_path()};
+  std::string name, digest;
+  while (in >> name >> digest) ref[name] = digest;
+  return ref;
+}
+
+TEST(GoldenReport, FixedSeedDigestsMatchCommittedReference) {
+  std::map<std::string, std::string> actual;
+  for (const auto& [name, cfg] : golden_configs()) {
+    Scenario scenario{cfg};
+    scenario.run();
+    actual[name] = report_digest(scenario.report());
+  }
+
+  if (std::getenv("VANET_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path()};
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    for (const auto& [name, digest] : actual) {
+      out << name << " " << digest << "\n";
+    }
+    GTEST_SKIP() << "golden reference regenerated at " << golden_path();
+  }
+
+  const std::map<std::string, std::string> reference = load_reference();
+  ASSERT_FALSE(reference.empty())
+      << "missing or empty golden reference " << golden_path();
+  EXPECT_EQ(actual.size(), reference.size());
+  for (const auto& [name, digest] : actual) {
+    const auto it = reference.find(name);
+    ASSERT_NE(it, reference.end()) << "no reference digest for " << name;
+    EXPECT_EQ(digest, it->second)
+        << "fixed-seed ScenarioReport changed for '" << name
+        << "' — a perf refactor must not change physics. If the change is "
+           "deliberate, rerun with VANET_UPDATE_GOLDEN=1 and commit.";
+  }
+}
+
+// The digest itself must be stable (pure function of the report) and
+// sensitive to any field.
+TEST(GoldenReport, DigestIsPureAndFieldSensitive) {
+  ScenarioReport r;
+  r.protocol = "aodv";
+  r.pdr = 0.5;
+  const std::string d1 = report_digest(r);
+  EXPECT_EQ(d1, report_digest(r));
+  r.receptions_ok = 1;
+  EXPECT_NE(report_digest(r), d1);
+  r.receptions_ok = 0;
+  r.pdr = 0.5000000000000001;  // one ulp-ish nudge must change the digest
+  EXPECT_NE(report_digest(r), d1);
+}
+
+}  // namespace
+}  // namespace vanet::sim
