@@ -3,7 +3,9 @@
 // survival/expectation integrals, IDM stepping and one MAC broadcast.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "analysis/lifetime_distribution.h"
 #include "analysis/link_lifetime.h"
@@ -34,6 +36,90 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// Steady-state schedule->fire throughput with a warm pool: the queue is
+// reused across iterations, so this isolates per-event cost from slab growth.
+void BM_SchedulerSteadyStateFire(benchmark::State& state) {
+  core::EventQueue q;
+  core::SimTime now;
+  int sink = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(core::SimTime::micros(t + (i * 7919) % 10000),
+                 [&sink] { ++sink; });
+    }
+    while (q.run_next(now)) {
+    }
+    t = now.as_micros();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSteadyStateFire);
+
+// Schedule + cancel churn: the dominant pattern of retry/NAV/timeout timers
+// that are armed and then retired before firing. Eager reclamation makes the
+// heap depth stay at zero here.
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  core::EventQueue q;
+  std::vector<core::EventHandle> handles;
+  handles.reserve(1000);
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(
+          q.schedule(core::SimTime::micros(t + (i * 7919) % 10000), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    handles.clear();
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelChurn);
+
+// Schedule/fire cycles while a deep backlog of mixed-horizon timers sits in
+// the heap (route lifetimes, discovery timeouts, periodic beacons): measures
+// how heap depth taxes the hot pop/push path.
+void BM_SchedulerMixedHorizonDepth(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  core::EventQueue q;
+  core::SimTime now;
+  // Long-horizon backlog, never due during the measured window.
+  for (int i = 0; i < depth; ++i) {
+    q.schedule(core::SimTime::seconds(1e6 + i), [] {});
+  }
+  int sink = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      q.schedule(core::SimTime::micros(t + (i * 7919) % 1000),
+                 [&sink] { ++sink; });
+    }
+    for (int i = 0; i < 100; ++i) q.run_next(now);
+    t = now.as_micros();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SchedulerMixedHorizonDepth)->Arg(100)->Arg(1000)->Arg(10000);
+
+// One recurring timer re-arming in place across firings (hello beacons,
+// mobility ticks, CBR flows after the schedule_every migration).
+void BM_SchedulerRecurringTick(benchmark::State& state) {
+  core::EventQueue q;
+  core::SimTime now;
+  std::uint64_t fired = 0;
+  q.schedule_every(core::SimTime::micros(1), core::SimTime::micros(1),
+                   [&fired] { ++fired; });
+  for (auto _ : state) {
+    q.run_next(now);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRecurringTick);
 
 void BM_SpatialGridQuery(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

@@ -164,6 +164,12 @@ void append_json_run(std::string& out, const std::string& family, int vehicles,
      << "      \"wall_s\": " << run.wall_s << ",\n"
      << "      \"events_dispatched\": " << run.events_dispatched << ",\n"
      << "      \"events_per_sec\": " << run.events_per_sec() << ",\n"
+     << "      \"sched_slab_allocs\": " << run.sched_slab_allocs << ",\n"
+     << "      \"sched_oversize_callbacks\": " << run.sched_oversize_callbacks
+     << ",\n"
+     << "      \"sched_peak_pending\": " << run.sched_peak_pending << ",\n"
+     << "      \"sched_allocs_per_event\": " << run.sched_allocs_per_event()
+     << ",\n"
      << "      \"frames_sent\": "
      << (run.report.data_frames + run.report.control_frames +
          run.report.hello_frames)

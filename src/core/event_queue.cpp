@@ -1,43 +1,173 @@
 #include "core/event_queue.h"
 
-#include "core/assert.h"
-
 namespace vanet::core {
 
-EventHandle EventQueue::schedule(SimTime at, Callback fn) {
-  VANET_ASSERT_MSG(fn != nullptr, "scheduling a null callback");
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{cancelled};
-  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+EventQueue::~EventQueue() {
+  // Live callbacks are exactly the heap entries (nothing fires during
+  // destruction); boxed ones own heap memory that must be released.
+  for (const HeapEntry& e : heap_) {
+    Slot& s = slot_ref(e.slot);
+    s.destroy(s.storage);
+  }
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ == kNullSlot) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    ++stats_.slab_allocations;
+    // Thread the new slab onto the free list so the lowest index pops first.
+    Slot* slab = slabs_.back().get();
+    const std::uint32_t base = slot_count_;
+    for (std::uint32_t i = kSlabSlots; i-- > 0;) {
+      slab[i].aux = free_head_;
+      free_head_ = base + i;
+    }
+    slot_count_ += kSlabSlots;
+  }
+  const std::uint32_t idx = free_head_;
+  Slot& s = slot_ref(idx);
+  free_head_ = s.aux;
+  return idx;
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slot_ref(idx);
+  if (s.reserved_seq) {
+    for (auto& entry : reserved_ends_) {
+      if (entry.first == idx) {
+        entry = reserved_ends_.back();
+        reserved_ends_.pop_back();
+        break;
+      }
+    }
+    s.reserved_seq = false;
+  }
+  ++s.generation;  // stale handles to this slot become inert
+  s.pos = kFreePos;
+  s.aux = free_head_;
+  free_head_ = idx;
+}
+
+std::uint32_t EventQueue::reserved_end_of(std::uint32_t idx) const {
+  for (const auto& [slot, end] : reserved_ends_) {
+    if (slot == idx) return end;
+  }
+  VANET_ASSERT_MSG(false, "reserved-seq event without a registered block");
+  return 0;
+}
+
+void EventQueue::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!entry_less(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  const HeapEntry e = heap_[pos];
+  for (;;) {
+    const std::uint32_t first_child = (pos << 2) + 1;
+    if (first_child >= n) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 3 < n ? first_child + 3 : n - 1;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+void EventQueue::heap_push(const HeapEntry& e) {
+  heap_.push_back(e);
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
+  if (heap_.size() > stats_.peak_pending) stats_.peak_pending = heap_.size();
+}
+
+void EventQueue::heap_remove(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    place(pos, heap_[last]);
+    heap_.pop_back();
+    if (pos > 0 && entry_less(heap_[pos], heap_[(pos - 1) >> 2])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+std::uint32_t EventQueue::reserve_seq_block(std::uint32_t count) {
+  VANET_ASSERT_MSG(next_seq_ <= kSeqLimit - count,
+                   "event sequence space exhausted by reservation");
+  const std::uint32_t base = next_seq_;
+  next_seq_ += count;
+  return base;
 }
 
 bool EventQueue::run_next(SimTime& now) {
-  drop_cancelled();
   if (heap_.empty()) return false;
-  // A const_cast-free pop: copy the callback out, then pop.
-  Entry entry = heap_.top();
-  heap_.pop();
-  VANET_ASSERT_MSG(entry.at >= now, "event scheduled in the past");
-  now = entry.at;
-  *entry.cancelled = true;  // mark as fired so the handle reports !pending()
+  const HeapEntry top = heap_[0];
+  heap_remove(0);
+  VANET_ASSERT_MSG(top.at >= now, "event scheduled in the past");
+  now = top.at;
   ++dispatched_;
-  entry.fn();
+  Slot& s = slot_ref(top.slot);  // slabs never move: stable across callbacks
+  s.pos = kFiringPos;
+  const SimTime next = s.invoke(s.storage, top.at);
+  if (s.recurring && !next.is_negative() && s.pos == kFiringPos) {
+    VANET_ASSERT_MSG(next >= top.at, "recurring event re-armed in the past");
+    std::uint32_t seq;
+    if (s.reserved_seq) {
+      VANET_ASSERT_MSG(s.aux < reserved_end_of(top.slot),
+                       "reserved-seq event fired past its block (seqs would "
+                       "collide with the shared counter)");
+      seq = s.aux++;
+    } else {
+      seq = alloc_seq();
+    }
+    heap_push(HeapEntry{next, seq, top.slot});
+  } else {
+    s.destroy(s.storage);
+    release_slot(top.slot);
+  }
   return true;
 }
 
-SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  return heap_.empty() ? SimTime::max() : heap_.top().at;
+void EventQueue::do_cancel(std::uint32_t slot_idx, std::uint32_t generation) {
+  if (slot_idx >= slot_count_) return;
+  Slot& s = slot_ref(slot_idx);
+  if (s.generation != generation) return;
+  if (s.pos == kFreePos || s.pos == kFiringCancelledPos) return;
+  if (s.pos == kFiringPos) {
+    // Mid-callback: a one-shot is already past the point of cancellation;
+    // a recurring event records the cancel so run_next skips the re-arm.
+    if (s.recurring) s.pos = kFiringCancelledPos;
+    return;
+  }
+  heap_remove(s.pos);  // eager removal: dead timers leave the heap now
+  s.destroy(s.storage);
+  release_slot(slot_idx);
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+bool EventQueue::is_pending(std::uint32_t slot_idx,
+                            std::uint32_t generation) const {
+  if (slot_idx >= slot_count_) return false;
+  const Slot& s = slot_ref(slot_idx);
+  if (s.generation != generation) return false;
+  if (s.pos == kFreePos || s.pos == kFiringCancelledPos) return false;
+  if (s.pos == kFiringPos) return s.recurring;
+  return true;
 }
 
 }  // namespace vanet::core

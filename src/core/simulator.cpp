@@ -2,15 +2,6 @@
 
 namespace vanet::core {
 
-EventHandle Simulator::schedule(SimTime delay, EventQueue::Callback fn) {
-  const SimTime at = delay.is_negative() ? now_ : now_ + delay;
-  return queue_.schedule(at, std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
-  return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
-}
-
 void Simulator::run_until(SimTime end) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {

@@ -5,7 +5,7 @@
 // simulators side by side.
 #pragma once
 
-#include <functional>
+#include <utility>
 
 #include "core/event_queue.h"
 #include "core/sim_time.h"
@@ -21,10 +21,50 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` after `delay` from now. Negative delays are clamped to now.
-  EventHandle schedule(SimTime delay, EventQueue::Callback fn);
+  template <typename F>
+  EventHandle schedule(SimTime delay, F&& fn) {
+    const SimTime at = delay.is_negative() ? now_ : now_ + delay;
+    return queue_.schedule(at, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` at an absolute time (>= now).
-  EventHandle schedule_at(SimTime at, EventQueue::Callback fn);
+  template <typename F>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    return queue_.schedule(at < now_ ? now_ : at, std::forward<F>(fn));
+  }
+
+  /// Recurring drift-free timer: first firing after `first_delay`, then every
+  /// `period` after the previous firing, reusing one pool slot throughout.
+  /// Stop it with EventHandle::cancel().
+  template <typename F>
+  EventHandle schedule_every(SimTime first_delay, SimTime period, F&& fn) {
+    const SimTime at = first_delay.is_negative() ? now_ : now_ + first_delay;
+    return queue_.schedule_every(at, period, std::forward<F>(fn));
+  }
+
+  /// Variable-period recurring timer. `fn` is SimTime(SimTime fired_at) and
+  /// returns the next absolute firing time, or any negative SimTime to stop.
+  template <typename F>
+  EventHandle schedule_recurring(SimTime first_delay, F&& fn) {
+    const SimTime at = first_delay.is_negative() ? now_ : now_ + first_delay;
+    return queue_.schedule_recurring(at, std::forward<F>(fn));
+  }
+
+  /// As schedule_recurring, but at an absolute first time and drawing
+  /// per-firing sequence numbers from the `seq_count`-wide block starting at
+  /// `seq_base`, claimed via reserve_seq_block (equal-time FIFO rank as if
+  /// every firing had been scheduled upfront).
+  template <typename F>
+  EventHandle schedule_recurring_at(SimTime first_at, std::uint32_t seq_base,
+                                    std::uint32_t seq_count, F&& fn) {
+    return queue_.schedule_recurring(first_at < now_ ? now_ : first_at,
+                                     seq_base, seq_count, std::forward<F>(fn));
+  }
+
+  /// Claim `count` consecutive event sequence numbers (see EventQueue).
+  std::uint32_t reserve_seq_block(std::uint32_t count) {
+    return queue_.reserve_seq_block(count);
+  }
 
   /// Run until the queue drains or `end` is reached (events at `end` included).
   void run_until(SimTime end);
@@ -37,6 +77,11 @@ class Simulator {
 
   std::uint64_t events_dispatched() const { return queue_.dispatched(); }
   std::size_t events_pending() const { return queue_.size(); }
+
+  /// Scheduler allocation telemetry (perf harness; see EventQueue).
+  const EventQueue::AllocStats& scheduler_stats() const {
+    return queue_.alloc_stats();
+  }
 
  private:
   EventQueue queue_;

@@ -18,7 +18,8 @@ MobilityManager::MobilityManager(core::Simulator& sim,
 void MobilityManager::start() {
   if (running_) return;
   running_ = true;
-  pending_ = sim_.schedule(tick_, [this] { on_tick(); });
+  // One recurring timer drives every tick; cancel() in stop() retires it.
+  pending_ = sim_.schedule_every(tick_, tick_, [this] { on_tick(); });
 }
 
 void MobilityManager::stop() {
@@ -31,7 +32,6 @@ void MobilityManager::on_tick() {
   model_->step(tick_.as_seconds(), rng_);
   rebuild_index();
   for (const auto& fn : listeners_) fn(sim_.now());
-  pending_ = sim_.schedule(tick_, [this] { on_tick(); });
 }
 
 void MobilityManager::rebuild_index() {

@@ -47,15 +47,19 @@ void HelloService::start() {
   started_ = true;
   for (NodeId id : net_.node_ids()) {
     tables_.try_emplace(id);
-    // Desynchronise initial beacons across one interval.
+    // Desynchronise initial beacons across one interval. Beacons re-arm with
+    // per-firing jitter (variable period), sweeps are strictly periodic;
+    // both reuse one pool slot per node for the whole run.
     const double offset = rng_.uniform(0.0, cfg_.interval.as_seconds());
-    net_.simulator().schedule(core::SimTime::seconds(offset),
-                              [this, id] { send_beacon(id); });
-    net_.simulator().schedule(cfg_.expiry, [this, id] { sweep(id); });
+    net_.simulator().schedule_recurring(
+        core::SimTime::seconds(offset),
+        [this, id](core::SimTime) { return send_beacon(id); });
+    net_.simulator().schedule_every(cfg_.expiry, cfg_.interval,
+                                    [this, id] { sweep(id); });
   }
 }
 
-void HelloService::send_beacon(NodeId id) {
+core::SimTime HelloService::send_beacon(NodeId id) {
   auto header = std::make_shared<HelloHeader>();
   header->pos = net_.position(id);
   header->vel = net_.velocity(id);
@@ -76,7 +80,7 @@ void HelloService::send_beacon(NodeId id) {
   const double jitter =
       rng_.uniform(-cfg_.jitter_fraction, cfg_.jitter_fraction);
   const core::SimTime next = cfg_.interval * (1.0 + jitter);
-  net_.simulator().schedule(next, [this, id] { send_beacon(id); });
+  return net_.simulator().now() + next;
 }
 
 void HelloService::sweep(NodeId id) {
@@ -86,7 +90,6 @@ void HelloService::sweep(NodeId id) {
   if (cb != loss_callbacks_.end() && cb->second) {
     for (NodeId lost : gone) cb->second(lost);
   }
-  net_.simulator().schedule(cfg_.interval, [this, id] { sweep(id); });
 }
 
 void HelloService::on_frame(NodeId self, const Packet& p) {

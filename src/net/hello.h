@@ -85,7 +85,8 @@ class HelloService {
   void set_loss_callback(NodeId id, std::function<void(NodeId lost)> fn);
 
  private:
-  void send_beacon(NodeId id);
+  /// Fires one beacon; returns the (jittered) absolute time of the next one.
+  core::SimTime send_beacon(NodeId id);
   void sweep(NodeId id);
 
   Network& net_;

@@ -210,6 +210,11 @@ void Network::finish_transmission(NodeId id) {
   const bool fade_free = propagation_->always_receives_in_range();
   bool intended_received = false;
 
+  // One time-window filter for the whole frame; each receiver below answers
+  // the collision question with a linear scan of the snapshot (the channel is
+  // not mutated inside this loop — receive handlers only enqueue frames and
+  // schedule events).
+  channel_.begin_overlap(tx.start, tx.end, self_tx);
   grid_.query_radius_into(tx.pos, propagation_->max_range(), id, rx_scratch_);
   for (NodeId cand : rx_scratch_) {
     NodeImpl& rx_node = impl(cand);
@@ -225,8 +230,7 @@ void Network::finish_transmission(NodeId id) {
       continue;
     }
     // Collision: any other transmission overlapping ours, audible at rx.
-    if (channel_.interference_at(rx_pos, tx.start, tx.end, interference_range_,
-                                 self_tx)) {
+    if (channel_.overlap_near(rx_pos, interference_range_)) {
       ++counters_.receptions_collided;
       continue;
     }

@@ -60,9 +60,4 @@ core::SimTime RoutingProtocol::jitter(double max_ms) const {
   return core::SimTime::seconds(ctx_.rng->uniform(0.0, max_ms * 1e-3));
 }
 
-void RoutingProtocol::schedule(core::SimTime delay,
-                               std::function<void()> fn) const {
-  ctx_.sim->schedule(delay, std::move(fn));
-}
-
 }  // namespace vanet::routing

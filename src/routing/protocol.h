@@ -109,7 +109,12 @@ class RoutingProtocol {
 
   /// Uniform jitter in [0, max_ms] milliseconds — de-synchronises rebroadcasts.
   core::SimTime jitter(double max_ms) const;
-  void schedule(core::SimTime delay, std::function<void()> fn) const;
+  /// Forward the callable straight into the scheduler's inline storage (no
+  /// std::function round-trip, so Packet-sized captures stay allocation-free).
+  template <typename F>
+  void schedule(core::SimTime delay, F&& fn) const {
+    ctx_.sim->schedule(delay, std::forward<F>(fn));
+  }
 
   ProtocolContext ctx_;
 

@@ -55,6 +55,10 @@ TimedRun run_timed(const ScenarioConfig& cfg) {
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
   out.events_dispatched = scenario.simulator().events_dispatched();
+  const auto& sched = scenario.simulator().scheduler_stats();
+  out.sched_slab_allocs = sched.slab_allocations;
+  out.sched_oversize_callbacks = sched.oversize_callbacks;
+  out.sched_peak_pending = sched.peak_pending;
   out.report = scenario.report();
   return out;
 }

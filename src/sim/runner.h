@@ -50,8 +50,22 @@ struct TimedRun {
   double wall_s = 0.0;                  ///< wall-clock time inside run()
   std::uint64_t events_dispatched = 0;  ///< simulator events processed
   std::size_t vehicles = 0;
+  // Scheduler allocation telemetry (EventQueue::AllocStats): slab growths
+  // happen only during warm-up and oversize_callbacks must stay ~0, so
+  // steady-state scheduling allocates nothing per event.
+  std::uint64_t sched_slab_allocs = 0;
+  std::uint64_t sched_oversize_callbacks = 0;
+  std::size_t sched_peak_pending = 0;
   double events_per_sec() const {
     return wall_s > 0.0 ? static_cast<double>(events_dispatched) / wall_s : 0.0;
+  }
+  /// Scheduler allocations amortised over the run — ~0 in steady state.
+  double sched_allocs_per_event() const {
+    return events_dispatched > 0
+               ? static_cast<double>(sched_slab_allocs +
+                                     sched_oversize_callbacks) /
+                     static_cast<double>(events_dispatched)
+               : 0.0;
   }
 };
 

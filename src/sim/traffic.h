@@ -5,6 +5,7 @@
 // for a fair protocol comparison.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/rng.h"
@@ -39,12 +40,19 @@ class CbrTraffic {
   struct Flow {
     net::NodeId src = 0;
     net::NodeId dst = 0;
+    // Recurring-timer state: next send time (replaying the historical float
+    // accumulation), next application sequence, and sends remaining.
+    double next_t = 0.0;
+    std::uint32_t app_seq = 0;
+    std::uint32_t packets_left = 0;
   };
   const std::vector<Flow>& flows() const { return flows_; }
 
  private:
   void pick_flows();
   void send_packet(std::size_t flow_idx, std::uint32_t seq);
+  /// One CBR send; returns the next send time (negative when done).
+  core::SimTime fire_flow(std::size_t flow_idx);
 
   core::Simulator& sim_;
   net::Network& net_;

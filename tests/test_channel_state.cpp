@@ -135,5 +135,46 @@ TEST(ChannelState, MatchesBruteForce) {
   }
 }
 
+TEST(ChannelState, OverlapSnapshotMatchesInterferenceAt) {
+  // begin_overlap/overlap_near is the batched per-frame form of
+  // interference_at used by the collision loop; the two must agree on every
+  // probe position, including after prunes recycle slots.
+  const double range = 150.0;
+  ChannelState cs{range};
+  core::Rng rng{7};
+  std::vector<ChannelState::Handle> handles;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 pos{rng.uniform(-1000.0, 1000.0), rng.uniform(-1000.0, 1000.0)};
+    const SimTime start = SimTime::millis(rng.uniform_int(0, 1000));
+    const SimTime end = start + SimTime::millis(rng.uniform_int(1, 50));
+    handles.push_back(cs.add(static_cast<NodeId>(i), start, end, pos));
+  }
+  for (int frame = 0; frame < 60; ++frame) {
+    if (frame == 30) {
+      // Drop roughly the first half of the timeline, then refill a little.
+      cs.prune(SimTime::millis(500));
+      for (int i = 0; i < 40; ++i) {
+        const Vec2 pos{rng.uniform(-1000.0, 1000.0),
+                       rng.uniform(-1000.0, 1000.0)};
+        const SimTime start = SimTime::millis(rng.uniform_int(500, 1000));
+        handles.push_back(cs.add(static_cast<NodeId>(200 + i), start,
+                                 start + SimTime::millis(20), pos));
+      }
+    }
+    const SimTime qstart = SimTime::millis(rng.uniform_int(500, 1000));
+    const SimTime qend = qstart + SimTime::millis(rng.uniform_int(1, 30));
+    const auto self =
+        handles[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(handles.size()) - 1))];
+    cs.begin_overlap(qstart, qend, self);
+    for (int p = 0; p < 40; ++p) {
+      const Vec2 pos{rng.uniform(-1100.0, 1100.0),
+                     rng.uniform(-1100.0, 1100.0)};
+      EXPECT_EQ(cs.overlap_near(pos, range),
+                cs.interference_at(pos, qstart, qend, range, self));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vanet::net
