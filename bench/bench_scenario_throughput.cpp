@@ -1,15 +1,15 @@
 // Scenario-throughput harness for the PHY/MAC hot path.
 //
-// Runs fixed-seed scenarios across the three mobility families (highway /
-// Manhattan / trace playback) and a population sweep, and emits one
-// machine-readable JSON document: wall time, simulator events dispatched,
-// events/sec and the canonical report digest per run. CI runs `--smoke` and
-// fails on malformed output; BENCH_*.json files in the repo root track the
-// full sweep before/after perf work (see docs/PERFORMANCE.md).
+// Runs fixed-seed scenarios across the four mobility families (highway /
+// Manhattan / trace playback / graph-constrained) and a population sweep,
+// and emits one machine-readable JSON document: wall time, simulator events
+// dispatched, events/sec and the canonical report digest per run. CI runs
+// `--smoke` and fails on malformed output; BENCH_*.json files in the repo
+// root track the full sweep before/after perf work (see docs/PERFORMANCE.md).
 //
 // Usage:
 //   bench_scenario_throughput [--smoke] [--out FILE]
-//       [--families highway,manhattan,trace] [--sizes 100,250,500,1000]
+//       [--families highway,manhattan,trace,graph] [--sizes 100,250,500,1000]
 //       [--duration SECONDS] [--seed N]
 #include <cstdint>
 #include <fstream>
@@ -30,7 +30,7 @@ using vanet::sim::ScenarioConfig;
 using vanet::sim::TimedRun;
 
 struct Options {
-  std::vector<std::string> families{"highway", "manhattan", "trace"};
+  std::vector<std::string> families{"highway", "manhattan", "trace", "graph"};
   std::vector<int> sizes{100, 250, 500, 1000};
   double duration_s = 10.0;
   std::uint64_t seed = 1;
@@ -127,6 +127,12 @@ ScenarioConfig make_config(const std::string& family, int vehicles,
     cfg.vehicles_per_direction = vehicles / 2;
   } else if (family == "manhattan") {
     cfg.mobility = MobilityKind::kManhattan;
+    cfg.manhattan = manhattan_for(vehicles);
+    cfg.vehicles = vehicles;
+  } else if (family == "graph") {
+    // Graph-constrained trips on the same 10x10 lattice the Manhattan rows
+    // use, so the two urban families compare on identical topology.
+    cfg.mobility = MobilityKind::kGraph;
     cfg.manhattan = manhattan_for(vehicles);
     cfg.vehicles = vehicles;
   } else if (family == "trace") {

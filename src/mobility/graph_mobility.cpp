@@ -1,0 +1,144 @@
+#include "mobility/graph_mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::mobility {
+
+namespace {
+/// Draw caps: trip planning retries (small graphs / disconnected components)
+/// and intersections crossed in one step (high dt x short blocks).
+constexpr int kTripDraws = 16;
+constexpr int kMaxHopsPerStep = 16;
+}  // namespace
+
+GraphMobilityModel::GraphMobilityModel(
+    std::shared_ptr<const map::RoadGraph> graph, GraphMobilityConfig cfg)
+    : graph_{std::move(graph)}, cfg_{cfg} {
+  VANET_ASSERT(graph_ != nullptr);
+  VANET_ASSERT_MSG(graph_->intersection_count() >= 2,
+                   "graph mobility needs at least two intersections");
+  for (int i = 0; i < graph_->intersection_count(); ++i) {
+    VANET_ASSERT_MSG(graph_->degree(i) > 0,
+                     "graph mobility: isolated intersection");
+  }
+  VANET_ASSERT(cfg_.replan_prob >= 0.0 && cfg_.replan_prob <= 1.0);
+}
+
+void GraphMobilityModel::plan_trip(Car& c, int at, core::Rng& rng) {
+  const int n = graph_->intersection_count();
+  const core::Vec2 here = graph_->intersection_pos(at);
+  // First pass honours the minimum trip length; the second drops it so tiny
+  // maps still get real trips; the neighbor fallback covers the remote case
+  // of every draw landing in another component.
+  for (const bool want_long : {true, false}) {
+    for (int tries = 0; tries < kTripDraws; ++tries) {
+      const int dest = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (dest == at) continue;
+      if (want_long &&
+          (graph_->intersection_pos(dest) - here).norm() < cfg_.min_trip_m) {
+        continue;
+      }
+      auto path = graph_->shortest_path_by_length(at, dest);
+      if (path.size() < 2) continue;  // unreachable
+      c.from = at;
+      c.dest = dest;
+      c.path = std::move(path);
+      c.path_idx = 1;
+      c.to = c.path[1];
+      c.along = 0.0;
+      return;
+    }
+  }
+  // Degree >= 1 is a class invariant, so a one-hop trip always exists.
+  const auto& adj = graph_->adjacency(at);
+  const int nbr =
+      adj[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(adj.size()) - 1))]
+          .first;
+  c.from = at;
+  c.dest = nbr;
+  c.path = {at, nbr};
+  c.path_idx = 1;
+  c.to = nbr;
+  c.along = 0.0;
+}
+
+VehicleId GraphMobilityModel::add_vehicle(int at, double speed,
+                                          core::Rng& rng) {
+  VANET_ASSERT(at >= 0 && at < graph_->intersection_count());
+  Car c;
+  c.speed = std::max(1.0, speed);
+  plan_trip(c, at, rng);
+  cars_.push_back(std::move(c));
+  VehicleState s;
+  s.id = static_cast<VehicleId>(states_.size());
+  states_.push_back(s);
+  refresh_state(states_.size() - 1);
+  return states_.back().id;
+}
+
+void GraphMobilityModel::populate(int count, core::Rng& rng) {
+  const int n = graph_->intersection_count();
+  for (int i = 0; i < count; ++i) {
+    const int at = static_cast<int>(rng.uniform_int(0, n - 1));
+    const double v =
+        std::max(2.0, rng.normal(cfg_.speed_mean, cfg_.speed_stddev));
+    add_vehicle(at, v, rng);
+  }
+}
+
+void GraphMobilityModel::step(double dt, core::Rng& rng) {
+  VANET_ASSERT(dt > 0.0);
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    Car& c = cars_[i];
+    double remaining = c.speed * dt;
+    int hops = 0;
+    while (remaining > 1e-9 && hops < kMaxHopsPerStep) {
+      const int seg = graph_->segment_between(c.from, c.to);
+      const double len = graph_->segment_length(seg);
+      const double left = len - c.along;
+      if (remaining < left) {
+        c.along += remaining;
+        remaining = 0.0;
+        break;
+      }
+      remaining -= left;
+      ++hops;
+      const int here = c.to;
+      if (here == c.dest || c.path_idx + 1 >= c.path.size() ||
+          rng.bernoulli(cfg_.replan_prob)) {
+        plan_trip(c, here, rng);
+      } else {
+        c.from = here;
+        ++c.path_idx;
+        c.to = c.path[c.path_idx];
+        c.along = 0.0;
+      }
+    }
+    refresh_state(i);
+  }
+}
+
+void GraphMobilityModel::refresh_state(std::size_t i) {
+  const Car& c = cars_[i];
+  const core::Vec2 pa = graph_->intersection_pos(c.from);
+  const core::Vec2 pb = graph_->intersection_pos(c.to);
+  const double len = graph_->segment_length(graph_->segment_between(c.from, c.to));
+  const double u = std::clamp(c.along / len, 0.0, 1.0);
+  VehicleState& s = states_[i];
+  // Convex combination of the endpoints: the position cannot leave the edge.
+  s.pos = pa + (pb - pa) * u;
+  s.heading = (pb - pa).normalized();
+  s.speed = c.speed;
+  s.accel = 0.0;
+}
+
+int GraphMobilityModel::current_segment(VehicleId id) const {
+  const Car& c = cars_.at(id);
+  return graph_->segment_between(c.from, c.to);
+}
+
+}  // namespace vanet::mobility

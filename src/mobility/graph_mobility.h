@@ -1,0 +1,78 @@
+// Graph-constrained mobility: vehicles drive on the edges of a map::RoadGraph.
+//
+// Each vehicle runs random trips over the shared road graph: pick a
+// destination intersection, follow the length-shortest path toward it, pick a
+// new destination on arrival. At every intersection along the way the driver
+// re-plans with probability `replan_prob` (a fresh destination and path),
+// which produces the direction churn urban protocols must cope with —
+// without ever leaving the graph. Positions are exact convex combinations of
+// the current edge's endpoints, so every vehicle is on a road segment at all
+// times (property-tested by GraphMobility.VehiclesStayOnEdges); routing-layer
+// consumers of the same RoadGraph (CAR's anchor paths, the density oracle)
+// therefore reason about roads the vehicles are actually on.
+//
+// Unlike ManhattanGridModel — which synthesizes its own lattice geometry —
+// this model works on any graph the map subsystem can build, including
+// edge-list CSV imports of real road networks (map/builders.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "map/road_graph.h"
+#include "mobility/mobility_model.h"
+
+namespace vanet::mobility {
+
+struct GraphMobilityConfig {
+  double speed_mean = 13.9;    ///< m/s (~50 km/h), drawn per vehicle
+  double speed_stddev = 2.0;   ///< m/s; draws are floored at 2 m/s
+  double replan_prob = 0.05;   ///< P(new destination) at each intersection
+  double min_trip_m = 400.0;   ///< minimum bee-line length of a new trip
+};
+
+class GraphMobilityModel final : public MobilityModel {
+ public:
+  /// `graph` must have >= 2 intersections and no isolated ones; it is shared
+  /// with the routing layer and must outlive the model.
+  GraphMobilityModel(std::shared_ptr<const map::RoadGraph> graph,
+                     GraphMobilityConfig cfg);
+
+  /// Place `count` vehicles at random intersections with random trips.
+  void populate(int count, core::Rng& rng);
+
+  /// Spawn one vehicle at intersection `at` with the given speed; the first
+  /// trip destination is drawn from `rng`.
+  VehicleId add_vehicle(int at, double speed, core::Rng& rng);
+
+  void step(double dt, core::Rng& rng) override;
+  const std::vector<VehicleState>& vehicles() const override { return states_; }
+
+  const map::RoadGraph& graph() const { return *graph_; }
+  const GraphMobilityConfig& config() const { return cfg_; }
+  /// Segment id vehicle `id` currently drives on (tests, diagnostics).
+  int current_segment(VehicleId id) const;
+
+ private:
+  struct Car {
+    int from = 0;              ///< intersection behind
+    int to = 0;                ///< intersection ahead on the current segment
+    double along = 0.0;        ///< metres travelled from `from` toward `to`
+    int dest = 0;              ///< current trip destination intersection
+    std::vector<int> path;     ///< intersections from `from` to `dest`
+    std::size_t path_idx = 0;  ///< index of `to` within `path`
+    double speed = 13.9;       ///< m/s, constant per vehicle
+  };
+
+  /// Draw a destination reachable from `at` and install the path; falls back
+  /// to a random neighbor hop when no distinct destination is reachable.
+  void plan_trip(Car& c, int at, core::Rng& rng);
+  void refresh_state(std::size_t i);
+
+  std::shared_ptr<const map::RoadGraph> graph_;
+  GraphMobilityConfig cfg_;
+  std::vector<VehicleState> states_;
+  std::vector<Car> cars_;
+};
+
+}  // namespace vanet::mobility

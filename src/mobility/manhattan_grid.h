@@ -5,6 +5,13 @@
 // family of protocols the survey describes (Sec. VI, VII). Traffic lights are
 // deliberately not modelled; turning randomness already produces the
 // direction churn those protocols must cope with (documented simplification).
+//
+// The lattice here is synthesized from ManhattanConfig, not taken from the
+// map subsystem — scenarios build a matching map::RoadGraph from the same
+// streets_x/streets_y/block values, so routing still sees the roads the
+// vehicles use. For mobility over an *arbitrary* road graph (including
+// imported CSV maps, where no such reconstruction is possible), use
+// GraphMobilityModel (mobility/graph_mobility.h) instead.
 #pragma once
 
 #include <vector>
@@ -13,12 +20,15 @@
 
 namespace vanet::mobility {
 
+/// Shared by ManhattanGridModel and the scenario's grid map source: the same
+/// streets_x/streets_y/block triple defines both the synthesized motion
+/// lattice and the map::RoadGraph that routing sees.
 struct ManhattanConfig {
   int streets_x = 5;        ///< number of vertical streets (constant-x lines)
   int streets_y = 5;        ///< number of horizontal streets (constant-y lines)
-  double block = 200.0;     ///< street spacing, m
-  double speed_mean = 13.9; ///< ~50 km/h
-  double speed_stddev = 2.0;
+  double block = 200.0;     ///< street spacing, m (intersection (0,0) at origin)
+  double speed_mean = 13.9; ///< m/s, ~50 km/h; per-vehicle normal draw
+  double speed_stddev = 2.0;///< m/s; draws are floored at 2 m/s
   double turn_prob_left = 0.25;   ///< remainder after left+right goes straight
   double turn_prob_right = 0.25;
 };

@@ -9,7 +9,7 @@
 namespace vanet::routing {
 
 double CarProtocol::segment_connectivity(int seg) const {
-  const double length = graph_->segment_length();
+  const double length = graph_->segment_length(seg);
   const double lambda = density_->count(seg) / length;
   return analysis::segment_connectivity_probability(lambda, length,
                                                     network().nominal_range());

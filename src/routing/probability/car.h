@@ -11,8 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "map/road_graph.h"
 #include "routing/geographic/geo_base.h"
-#include "routing/probability/road_graph.h"
 
 namespace vanet::routing {
 
@@ -23,8 +23,8 @@ struct CarHeader final : net::Header {
 
 class CarProtocol final : public GeoUnicastBase {
  public:
-  CarProtocol(std::shared_ptr<const RoadGraph> graph,
-              std::shared_ptr<const SegmentDensityOracle> density)
+  CarProtocol(std::shared_ptr<const map::RoadGraph> graph,
+              std::shared_ptr<const map::SegmentDensityOracle> density)
       : graph_{std::move(graph)}, density_{std::move(density)} {}
 
   bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
@@ -47,8 +47,8 @@ class CarProtocol final : public GeoUnicastBase {
   /// Advance `next_anchor` past anchors this node already reached.
   net::Packet advance_anchor(net::Packet p) const;
 
-  std::shared_ptr<const RoadGraph> graph_;
-  std::shared_ptr<const SegmentDensityOracle> density_;
+  std::shared_ptr<const map::RoadGraph> graph_;
+  std::shared_ptr<const map::SegmentDensityOracle> density_;
 
   static constexpr double kAnchorReachedRadiusFraction = 0.6;
 };

@@ -10,19 +10,21 @@
 #include <vector>
 
 #include "analysis/signal.h"
+#include "map/road_graph.h"
 #include "routing/infrastructure/bus.h"
-#include "routing/probability/road_graph.h"
 #include "routing/protocol.h"
 
 namespace vanet::routing {
 
 /// Shared dependencies some protocols need; scenario builders fill these in.
+/// The road graph and density oracle come from the map subsystem (src/map/),
+/// so protocols reason over the same topology the vehicles drive on.
 struct ProtocolDeps {
-  analysis::LogNormalParams signal;                       ///< REAR's model
-  std::shared_ptr<const RoadGraph> road_graph;            ///< CAR
-  std::shared_ptr<const SegmentDensityOracle> density;    ///< CAR
-  std::shared_ptr<const FerrySet> ferries;                ///< Bus
-  int yan_tickets = 4;                                    ///< Yan TBP budget
+  analysis::LogNormalParams signal;                          ///< REAR's model
+  std::shared_ptr<const map::RoadGraph> road_graph;          ///< CAR
+  std::shared_ptr<const map::SegmentDensityOracle> density;  ///< CAR
+  std::shared_ptr<const FerrySet> ferries;                   ///< Bus
+  int yan_tickets = 4;                                       ///< Yan TBP budget
 };
 
 struct ProtocolInfo {

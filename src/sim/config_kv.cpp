@@ -31,6 +31,7 @@ std::string fmt_value(MobilityKind k) {
     case MobilityKind::kHighway: return "highway";
     case MobilityKind::kManhattan: return "manhattan";
     case MobilityKind::kTrace: return "trace";
+    case MobilityKind::kGraph: return "graph";
   }
   return "highway";
 }
@@ -129,6 +130,31 @@ std::vector<Field> build_fields() {
   num("duration_s", REF(duration_s));
   num("mobility_tick_s", REF(mobility_tick_s));
   {
+    // `map.source` precedes `mobility` so the parse order lets an explicit
+    // mobility line re-settle the alias (see the header comment).
+    Field f;
+    f.key = "map.source";
+    f.get = [](const ScenarioConfig& cfg) {
+      return cfg.map.source == MapSource::kFile ? std::string("file")
+                                                : std::string("grid");
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      if (v == "grid") {
+        cfg.map.source = MapSource::kGrid;
+      } else if (v == "file") {
+        cfg.map.source = MapSource::kFile;
+        // Alias: an imported map implies driving on it. Set mobility
+        // afterwards to override (e.g. trace playback recorded on the map).
+        cfg.mobility = MobilityKind::kGraph;
+      } else {
+        bad_value(k, v, "grid|file");
+      }
+    };
+    fields.push_back(std::move(f));
+  }
+  fields.push_back(string_field("map.file", REF(map.file)));
+  {
     Field f;
     f.key = "mobility";
     f.get = [](const ScenarioConfig& cfg) { return fmt_value(cfg.mobility); };
@@ -140,8 +166,10 @@ std::vector<Field> build_fields() {
         cfg.mobility = MobilityKind::kManhattan;
       } else if (v == "trace") {
         cfg.mobility = MobilityKind::kTrace;
+      } else if (v == "graph") {
+        cfg.mobility = MobilityKind::kGraph;
       } else {
-        bad_value(k, v, "highway|manhattan|trace");
+        bad_value(k, v, "highway|manhattan|trace|graph");
       }
     };
     fields.push_back(std::move(f));
@@ -215,6 +243,12 @@ std::vector<Field> build_fields() {
   num("manhattan.speed_stddev", REF(manhattan.speed_stddev));
   num("manhattan.turn_prob_left", REF(manhattan.turn_prob_left));
   num("manhattan.turn_prob_right", REF(manhattan.turn_prob_right));
+
+  // --- graph.* (graph-constrained mobility) --------------------------------
+  num("graph.speed_mean", REF(graph.speed_mean));
+  num("graph.speed_stddev", REF(graph.speed_stddev));
+  num("graph.replan_prob", REF(graph.replan_prob));
+  num("graph.min_trip_m", REF(graph.min_trip_m));
 
   // --- traffic.* -----------------------------------------------------------
   num("traffic.flows", REF(traffic.flows));

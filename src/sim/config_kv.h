@@ -10,12 +10,17 @@
 // part of the key/value view; serialize_config() documents its presence via
 // the derived `trace.vehicles` pseudo-key being absent.
 //
-// One deliberate alias: `vehicles` reads the Manhattan population but its
-// setter also writes `vehicles_per_direction`, matching the CLI's historic
-// `--vehicles N` behaviour (one knob controls the population of whichever
-// mobility model is active). `vehicles_per_direction` is serialized after
-// `vehicles`, so parse_config(serialize_config(cfg)) still restores both
-// fields exactly.
+// Two deliberate aliases, both ordered so parse_config(serialize_config(cfg))
+// restores every field exactly:
+//  - `vehicles` reads the Manhattan/graph population but its setter also
+//    writes `vehicles_per_direction`, matching the CLI's historic
+//    `--vehicles N` behaviour (one knob controls the population of whichever
+//    mobility model is active); `vehicles_per_direction` is serialized after
+//    `vehicles` and re-settles it.
+//  - `map.source=file` also selects graph mobility (an imported map implies
+//    driving on it — `vanet_cli run --set map.source=file --set map.file=F`
+//    works without a --mobility flag); `mobility` is serialized after
+//    `map.source` and re-settles it, e.g. for trace playback over a file map.
 #pragma once
 
 #include <optional>

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "core/assert.h"
+#include "map/builders.h"
 
 namespace vanet::sim {
 
@@ -66,11 +68,45 @@ std::string report_digest(const ScenarioReport& r) {
 }
 
 Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} {
+  build_map();
   build_mobility();
   build_network();
   build_support();
   build_protocols();
   build_traffic();
+}
+
+void Scenario::build_map() {
+  if (cfg_.map.source == MapSource::kFile) {
+    if (cfg_.mobility != MobilityKind::kGraph &&
+        cfg_.mobility != MobilityKind::kTrace) {
+      throw std::invalid_argument(
+          "map.source=file requires graph or trace mobility — the highway / "
+          "manhattan models synthesize their own geometry and would not "
+          "drive on the imported map");
+    }
+    if (cfg_.map.file.empty()) {
+      throw std::invalid_argument("map.source=file requires map.file=PATH");
+    }
+    road_graph_ = std::make_shared<map::RoadGraph>(
+        map::load_edge_list_csv_file(cfg_.map.file));
+  } else if (cfg_.mobility == MobilityKind::kManhattan ||
+             cfg_.mobility == MobilityKind::kGraph) {
+    // Urban lattice; kGraph shares the Manhattan dimensions so the two urban
+    // models are directly comparable on the same topology.
+    road_graph_ = std::make_shared<map::RoadGraph>(cfg_.manhattan.streets_x,
+                                                   cfg_.manhattan.streets_y,
+                                                   cfg_.manhattan.block);
+  } else {
+    // Highway (and highway-like trace) scenarios: a 1-D line of car_cell_m
+    // cells, the granularity CAR scores connectivity over.
+    const int nx = std::max(
+        2, static_cast<int>(std::lround(cfg_.highway.length / cfg_.car_cell_m)) +
+               1);
+    road_graph_ = std::make_shared<map::RoadGraph>(
+        nx, 1, cfg_.highway.length / (nx - 1));
+  }
+  segment_index_ = std::make_unique<map::SegmentIndex>(*road_graph_);
 }
 
 void Scenario::build_mobility() {
@@ -83,6 +119,11 @@ void Scenario::build_mobility() {
     auto grid = std::make_unique<mobility::ManhattanGridModel>(cfg_.manhattan);
     grid->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
     model = std::move(grid);
+  } else if (cfg_.mobility == MobilityKind::kGraph) {
+    auto graph =
+        std::make_unique<mobility::GraphMobilityModel>(road_graph_, cfg_.graph);
+    graph->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
+    model = std::move(graph);
   } else {
     auto playback = std::make_unique<mobility::TracePlaybackModel>(cfg_.trace);
     // Node ids mirror vehicle ids, so the trace must use dense ids.
@@ -121,8 +162,20 @@ void Scenario::build_network() {
         net_->add_rsu({(k + 0.5) * spacing, -cfg_.highway.median_gap / 2.0});
       }
     } else {
-      const double w = (cfg_.manhattan.streets_x - 1) * cfg_.manhattan.block;
-      const double h = (cfg_.manhattan.streets_y - 1) * cfg_.manhattan.block;
+      // Scenarios with a real map (graph mobility, or any imported file map
+      // — including trace playback over one) cover the actual map extent,
+      // which need not start at the origin; the synthetic urban kinds keep
+      // the configured lattice dimensions.
+      double x0 = 0.0, y0 = 0.0;
+      double w = (cfg_.manhattan.streets_x - 1) * cfg_.manhattan.block;
+      double h = (cfg_.manhattan.streets_y - 1) * cfg_.manhattan.block;
+      if (cfg_.mobility == MobilityKind::kGraph ||
+          cfg_.map.source == MapSource::kFile) {
+        x0 = road_graph_->bbox_min().x;
+        y0 = road_graph_->bbox_min().y;
+        w = road_graph_->bbox_max().x - x0;
+        h = road_graph_->bbox_max().y - y0;
+      }
       const int per_side = std::max(1, static_cast<int>(std::lround(
                                            std::sqrt(cfg_.rsu_count))));
       int placed = 0;
@@ -130,7 +183,7 @@ void Scenario::build_network() {
         for (int j = 0; j < per_side && placed < cfg_.rsu_count; ++j) {
           const double x = per_side == 1 ? w / 2.0 : i * w / (per_side - 1);
           const double y = per_side == 1 ? h / 2.0 : j * h / (per_side - 1);
-          net_->add_rsu({x, y});
+          net_->add_rsu({x0 + x, y0 + y});
           ++placed;
         }
       }
@@ -151,27 +204,18 @@ void Scenario::build_support() {
       ferries_->insert(static_cast<net::NodeId>(k * stride));
     }
   }
-  // Road graph + density oracle (CAR).
-  if (cfg_.mobility == MobilityKind::kManhattan) {
-    road_graph_ = std::make_shared<routing::RoadGraph>(
-        cfg_.manhattan.streets_x, cfg_.manhattan.streets_y,
-        cfg_.manhattan.block);
-  } else {
-    const int nx = std::max(
-        2, static_cast<int>(std::lround(cfg_.highway.length / cfg_.car_cell_m)) +
-               1);
-    road_graph_ = std::make_shared<routing::RoadGraph>(
-        nx, 1, cfg_.highway.length / (nx - 1));
-  }
+  // Density oracle over the shared road graph (built in build_map).
   density_ =
-      std::make_shared<routing::SegmentDensityOracle>(road_graph_->segment_count());
+      std::make_shared<map::SegmentDensityOracle>(road_graph_->segment_count());
   schedule_density_updates();
 }
 
 void Scenario::update_density() {
   std::vector<double> counts(road_graph_->segment_count(), 0.0);
   for (const auto& v : mobility_->vehicles()) {
-    counts[static_cast<std::size_t>(road_graph_->segment_of_position(v.pos))] +=
+    // The index returns exactly RoadGraph::segment_of_position(pos) — see
+    // map/segment_index.h — without the O(segments) scan per vehicle.
+    counts[static_cast<std::size_t>(segment_index_->nearest_segment(v.pos))] +=
         1.0;
   }
   for (std::size_t s = 0; s < counts.size(); ++s) {
@@ -180,8 +224,8 @@ void Scenario::update_density() {
 }
 
 void Scenario::schedule_density_updates() {
-  // Refresh per-segment vehicle counts once per second (stands in for CAR's
-  // statistics dissemination; see DESIGN.md).
+  // Refresh per-segment vehicle counts once per second (ground-truth
+  // stand-in for CAR's statistics dissemination; see map/road_graph.h).
   update_density();
   sim_.schedule(core::SimTime::seconds(1.0),
                 [this] { schedule_density_updates(); });

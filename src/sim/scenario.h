@@ -11,6 +11,8 @@
 
 #include "core/rng.h"
 #include "core/simulator.h"
+#include "map/segment_index.h"
+#include "mobility/graph_mobility.h"
 #include "mobility/idm_highway.h"
 #include "mobility/manhattan_grid.h"
 #include "mobility/mobility_manager.h"
@@ -23,18 +25,35 @@
 
 namespace vanet::sim {
 
-enum class MobilityKind { kHighway, kManhattan, kTrace };
+enum class MobilityKind { kHighway, kManhattan, kTrace, kGraph };
+
+/// Where the scenario's road topology (map::RoadGraph) comes from.
+enum class MapSource {
+  kGrid,  ///< generated: Manhattan lattice (or highway line) from the config
+  kFile,  ///< imported: edge-list CSV via map/builders.h
+};
+
+struct MapSpec {
+  MapSource source = MapSource::kGrid;
+  /// Edge-list CSV path, loaded at scenario construction (source=kFile only).
+  /// A file map requires kGraph or kTrace mobility — the synthetic highway /
+  /// Manhattan models generate their own geometry and would diverge from it.
+  std::string file;
+};
 
 struct ScenarioConfig {
   std::uint64_t seed = 1;
   double duration_s = 60.0;
   double mobility_tick_s = 0.1;
 
+  MapSpec map;                      ///< road topology source (see src/map/)
   MobilityKind mobility = MobilityKind::kHighway;
   mobility::HighwayConfig highway;
   int vehicles_per_direction = 40;  ///< highway population (per direction)
   mobility::ManhattanConfig manhattan;
-  int vehicles = 80;                ///< Manhattan population
+  int vehicles = 80;                ///< Manhattan / graph-mobility population
+  /// kGraph: trip-based driving on the shared road graph (graph_mobility.h).
+  mobility::GraphMobilityConfig graph;
   /// kTrace: played-back mobility (SUMO-like CSV; see mobility/trace.h).
   /// Vehicle ids must be dense 0..N-1 — renumber on conversion if needed.
   mobility::Trace trace;
@@ -115,8 +134,11 @@ class Scenario {
   const CbrTraffic& traffic() const { return *traffic_; }
   const ScenarioConfig& config() const { return cfg_; }
   std::size_t vehicle_count() const { return vehicle_count_; }
+  /// The shared road topology (mobility + routing both reference it).
+  const map::RoadGraph& road_graph() const { return *road_graph_; }
 
  private:
+  void build_map();
   void build_mobility();
   void build_network();
   void build_support();
@@ -138,8 +160,9 @@ class Scenario {
   std::unique_ptr<CbrTraffic> traffic_;
   std::size_t vehicle_count_ = 0;
 
-  std::shared_ptr<routing::RoadGraph> road_graph_;
-  std::shared_ptr<routing::SegmentDensityOracle> density_;
+  std::shared_ptr<map::RoadGraph> road_graph_;
+  std::unique_ptr<map::SegmentIndex> segment_index_;
+  std::shared_ptr<map::SegmentDensityOracle> density_;
   std::shared_ptr<routing::FerrySet> ferries_;
   std::uint64_t reachable_samples_ = 0;
   std::uint64_t total_samples_ = 0;

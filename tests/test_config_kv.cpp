@@ -68,6 +68,54 @@ TEST(ConfigKv, VehiclesAliasSetsBothPopulations) {
   EXPECT_EQ(cfg.vehicles_per_direction, 7);
 }
 
+TEST(ConfigKv, MapSourceAliasSelectsGraphMobility) {
+  ScenarioConfig cfg;
+  config_set(cfg, "map.source", "file");
+  config_set(cfg, "map.file", "maps/city.csv");
+  EXPECT_EQ(cfg.map.source, MapSource::kFile);
+  EXPECT_EQ(cfg.map.file, "maps/city.csv");
+  // An imported map implies driving on it...
+  EXPECT_EQ(cfg.mobility, MobilityKind::kGraph);
+  // ...unless mobility is set afterwards (trace recorded on the map).
+  config_set(cfg, "mobility", "trace");
+  EXPECT_EQ(cfg.mobility, MobilityKind::kTrace);
+  EXPECT_EQ(cfg.map.source, MapSource::kFile);
+  // map.source=grid touches nothing else.
+  ScenarioConfig untouched;
+  config_set(untouched, "map.source", "grid");
+  EXPECT_EQ(untouched.mobility, MobilityKind::kHighway);
+  EXPECT_THROW(config_set(cfg, "map.source", "osm"), std::invalid_argument);
+}
+
+TEST(ConfigKv, MapAliasSurvivesSerializeParseRoundTrip) {
+  // `map.source` serializes before `mobility`, so an explicit non-graph
+  // mobility over a file map is restored exactly.
+  ScenarioConfig cfg;
+  config_set(cfg, "map.source", "file");
+  config_set(cfg, "map.file", "m.csv");
+  config_set(cfg, "mobility", "trace");
+  const ScenarioConfig parsed = parse_config(serialize_config(cfg));
+  EXPECT_EQ(parsed.map.source, MapSource::kFile);
+  EXPECT_EQ(parsed.map.file, "m.csv");
+  EXPECT_EQ(parsed.mobility, MobilityKind::kTrace);
+}
+
+TEST(ConfigKv, GraphMobilityKeys) {
+  ScenarioConfig cfg;
+  config_set(cfg, "mobility", "graph");
+  EXPECT_EQ(cfg.mobility, MobilityKind::kGraph);
+  EXPECT_EQ(config_get(cfg, "mobility"), "graph");
+  config_set(cfg, "graph.replan_prob", "0.125");
+  EXPECT_DOUBLE_EQ(cfg.graph.replan_prob, 0.125);
+  config_set(cfg, "graph.min_trip_m", "750");
+  EXPECT_DOUBLE_EQ(cfg.graph.min_trip_m, 750.0);
+  for (const char* key : {"graph.speed_mean", "graph.speed_stddev",
+                          "graph.replan_prob", "graph.min_trip_m",
+                          "map.source", "map.file"}) {
+    EXPECT_TRUE(config_has_key(key)) << key;
+  }
+}
+
 TEST(ConfigKv, UnknownKeyRejected) {
   ScenarioConfig cfg;
   EXPECT_THROW(config_get(cfg, "nope"), std::invalid_argument);

@@ -63,6 +63,19 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     cfg.traffic.stop_s = 15.0;
     configs["manhattan-yan"] = cfg;
   }
+  {
+    // Graph-constrained mobility with the protocol that routes over the same
+    // graph: pins the map subsystem (trip planning, density via the segment
+    // index, CAR anchor paths) exactly like the other kinds pin theirs.
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = 30;
+    cfg.protocol = "car";
+    cfg.traffic.stop_s = 15.0;
+    configs["graph-car"] = cfg;
+  }
   return configs;
 }
 

@@ -147,8 +147,8 @@ TEST(Behavior, CarRoutesAroundEmptyStreet) {
   // 3x2 road graph; the bottom street (direct) has zero density, the top
   // detour is dense. CAR's anchor path must choose the detour, and the
   // vehicles are placed so only the detour has radio connectivity.
-  auto graph = std::make_shared<routing::RoadGraph>(3, 2, 200.0);
-  auto density = std::make_shared<routing::SegmentDensityOracle>(
+  auto graph = std::make_shared<map::RoadGraph>(3, 2, 200.0);
+  auto density = std::make_shared<map::SegmentDensityOracle>(
       graph->segment_count());
   // Dense counts on top-row and vertical segments; zero on bottom row.
   for (std::size_t s = 0; s < graph->segment_count(); ++s) {

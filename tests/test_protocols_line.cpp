@@ -16,8 +16,8 @@ routing::ProtocolDeps line_deps(int nodes, double spacing) {
   const double length = (nodes - 1) * spacing;
   const int nx = std::max(2, static_cast<int>(length / 200.0) + 1);
   deps.road_graph =
-      std::make_shared<routing::RoadGraph>(nx, 1, length / (nx - 1));
-  auto density = std::make_shared<routing::SegmentDensityOracle>(
+      std::make_shared<map::RoadGraph>(nx, 1, length / (nx - 1));
+  auto density = std::make_shared<map::SegmentDensityOracle>(
       deps.road_graph->segment_count());
   for (std::size_t s = 0; s < density->segments(); ++s) {
     density->set_count(static_cast<int>(s), 4.0);

@@ -50,17 +50,17 @@ TEST(Registry, MakeProducesNamedInstance) {
 TEST(Registry, CarRequiresDeps) {
   EXPECT_THROW(ProtocolRegistry::make("car", {}), std::invalid_argument);
   ProtocolDeps deps;
-  deps.road_graph = std::make_shared<RoadGraph>(3, 3, 100.0);
+  deps.road_graph = std::make_shared<map::RoadGraph>(3, 3, 100.0);
   deps.density =
-      std::make_shared<SegmentDensityOracle>(deps.road_graph->segment_count());
+      std::make_shared<map::SegmentDensityOracle>(deps.road_graph->segment_count());
   EXPECT_NE(ProtocolRegistry::make("car", deps), nullptr);
 }
 
 TEST(Registry, InstanceMetadataConsistent) {
   ProtocolDeps deps;
-  deps.road_graph = std::make_shared<RoadGraph>(3, 3, 100.0);
+  deps.road_graph = std::make_shared<map::RoadGraph>(3, 3, 100.0);
   deps.density =
-      std::make_shared<SegmentDensityOracle>(deps.road_graph->segment_count());
+      std::make_shared<map::SegmentDensityOracle>(deps.road_graph->segment_count());
   for (const auto& info : ProtocolRegistry::all()) {
     auto p = info.make(deps);
     EXPECT_EQ(p->name(), info.name);

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <stdexcept>
+
+#include "map/builders.h"
+
 namespace vanet::sim {
 namespace {
 
@@ -139,6 +144,127 @@ TEST(Scenario, BusCountDesignatesFerries) {
   Scenario s{cfg};
   s.run();
   EXPECT_GT(s.report().originated, 0u);
+}
+
+ScenarioConfig small_graph_scenario(const std::string& protocol) {
+  ScenarioConfig cfg;
+  cfg.protocol = protocol;
+  cfg.mobility = MobilityKind::kGraph;
+  cfg.manhattan.streets_x = 4;
+  cfg.manhattan.streets_y = 4;
+  cfg.manhattan.block = 200.0;
+  cfg.vehicles = 40;
+  cfg.duration_s = 15.0;
+  cfg.traffic.flows = 3;
+  cfg.traffic.start_s = 2.0;
+  cfg.traffic.stop_s = 12.0;
+  return cfg;
+}
+
+TEST(Scenario, GraphMobilityBuildsAndSharesTopology) {
+  Scenario s{small_graph_scenario("car")};
+  // The graph CAR routes over is the graph the vehicles drive on.
+  const auto* model =
+      dynamic_cast<const mobility::GraphMobilityModel*>(&s.mobility().model());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(&model->graph(), &s.road_graph());
+  s.run();
+  EXPECT_GT(s.report().originated, 0u);
+}
+
+TEST(Scenario, GraphMobilityWithRsusPlacesThemInsideTheMap) {
+  ScenarioConfig cfg = small_graph_scenario("drr");
+  cfg.rsu_count = 4;
+  Scenario s{cfg};
+  const auto& g = s.road_graph();
+  for (net::NodeId id : s.network().node_ids()) {
+    const core::Vec2 p = s.network().position(id);
+    EXPECT_GE(p.x, g.bbox_min().x - 1e-9);
+    EXPECT_LE(p.x, g.bbox_max().x + 1e-9);
+    EXPECT_GE(p.y, g.bbox_min().y - 1e-9);
+    EXPECT_LE(p.y, g.bbox_max().y + 1e-9);
+  }
+  s.run();
+  EXPECT_GT(s.report().originated, 0u);
+}
+
+TEST(Scenario, FileMapRunsEndToEndAcrossFamilies) {
+  // The acceptance path: an imported (non-grid) map drives graph mobility and
+  // both a probability-family and a geographic-family protocol route over it.
+  map::RoadGraph g;
+  g.add_intersection({0.0, 0.0});
+  g.add_intersection({350.0, 80.0});
+  g.add_intersection({700.0, 0.0});
+  g.add_intersection({350.0, 420.0});
+  g.add_intersection({900.0, 400.0});
+  g.add_segment(0, 1);
+  g.add_segment(1, 2);
+  g.add_segment(1, 3);
+  g.add_segment(3, 4);
+  g.add_segment(2, 4);
+  g.add_segment(0, 3);
+  const std::string path = ::testing::TempDir() + "vanet_scenario_map.csv";
+  map::save_edge_list_csv_file(g, path);
+
+  for (const char* protocol : {"car", "greedy"}) {
+    ScenarioConfig cfg = small_graph_scenario(protocol);
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = path;
+    cfg.vehicles = 30;
+    Scenario s{cfg};
+    EXPECT_FALSE(s.road_graph().is_grid());
+    EXPECT_EQ(s.road_graph().intersection_count(), 5);
+    s.run();
+    EXPECT_GT(s.report().originated, 0u) << protocol;
+    EXPECT_GT(s.report().delivered, 0u) << protocol;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, TracePlaybackOverFileMapPlacesRsusInsideTheMap) {
+  // A file map whose coordinates sit far from the origin: RSUs must land in
+  // the map's extent even under trace mobility (not the default lattice's).
+  map::RoadGraph g;
+  g.add_intersection({5000.0, 2000.0});
+  g.add_intersection({5600.0, 2000.0});
+  g.add_intersection({5600.0, 2400.0});
+  g.add_segment(0, 1);
+  g.add_segment(1, 2);
+  const std::string path = ::testing::TempDir() + "vanet_offset_map.csv";
+  map::save_edge_list_csv_file(g, path);
+
+  ScenarioConfig cfg;
+  cfg.map.source = MapSource::kFile;
+  cfg.map.file = path;
+  cfg.mobility = MobilityKind::kTrace;
+  for (mobility::VehicleId id : {0u, 1u}) {
+    cfg.trace.add(id, {0.0, 5000.0 + 100.0 * id, 2000.0, 10.0, 0.0});
+    cfg.trace.add(id, {10.0, 5200.0 + 100.0 * id, 2000.0, 10.0, 0.0});
+  }
+  cfg.rsu_count = 2;
+  cfg.duration_s = 5.0;
+  cfg.traffic.flows = 1;
+  cfg.traffic.start_s = 1.0;
+  cfg.traffic.stop_s = 4.0;
+  Scenario s{cfg};
+  for (net::NodeId id : s.network().rsu_ids()) {
+    const core::Vec2 p = s.network().position(id);
+    EXPECT_GE(p.x, 5000.0);
+    EXPECT_LE(p.x, 5600.0);
+    EXPECT_GE(p.y, 2000.0);
+    EXPECT_LE(p.y, 2400.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, FileMapRequiresGraphOrTraceMobility) {
+  ScenarioConfig cfg = small_highway("aodv");
+  cfg.map.source = MapSource::kFile;
+  cfg.map.file = "does-not-matter.csv";
+  EXPECT_THROW((Scenario{cfg}), std::invalid_argument);  // highway mobility
+  cfg.mobility = MobilityKind::kGraph;
+  cfg.map.file.clear();
+  EXPECT_THROW((Scenario{cfg}), std::invalid_argument);  // no map.file
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Usage:
+    check_docs.py [FILE_OR_DIR ...]      # default: README.md docs/
+
+Checks every `[text](target)` and bare `(path/to/file.md)` style markdown
+link in the given files (directories are scanned for *.md):
+  - relative links must resolve to an existing file or directory,
+    relative to the file containing the link;
+  - intra-document anchors (#section) must match a heading in the target
+    file (github slug rules, simplified);
+  - http(s)/mailto links are not fetched (CI must not depend on the
+    network) — they are only reported with --list-external.
+Exit status 1 when any relative link is broken, listing every failure.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading):
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path):
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def links_of(path):
+    in_fence = False
+    for line_no, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield line_no, m.group(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["README.md", "docs"])
+    parser.add_argument("--list-external", action="store_true")
+    args = parser.parse_args()
+
+    files = []
+    for p in args.paths or ["README.md", "docs"]:
+        path = pathlib.Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            sys.exit(f"check_docs: no such file or directory: {p}")
+
+    broken = []
+    checked = 0
+    for md in files:
+        for line_no, target in links_of(md):
+            where = f"{md}:{line_no}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                if args.list_external:
+                    print(f"external: {where}: {target}")
+                continue
+            checked += 1
+            ref, _, anchor = target.partition("#")
+            base = md.parent / ref if ref else md
+            if ref and not base.exists():
+                broken.append(f"{where}: missing target '{target}'")
+                continue
+            if anchor:
+                if base.is_dir() or base.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if github_slug(anchor) not in headings_of(base):
+                    broken.append(f"{where}: no heading for anchor '#{anchor}'")
+
+    if broken:
+        print("check_docs: broken links:", file=sys.stderr)
+        for b in broken:
+            print(f"  - {b}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_docs: {checked} relative link(s) across {len(files)} file(s) ok"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fail when docs/PROTOCOLS.md drifts from the live protocol registry.
+
+Usage:
+    vanet_cli list | check_protocols_md.py docs/PROTOCOLS.md
+    check_protocols_md.py docs/PROTOCOLS.md --cli ./build/vanet_cli
+
+Both inputs are markdown tables. From `vanet_cli list` the columns
+(protocol, category, ref) are authoritative; the doc table must contain
+exactly the same protocol set, and per protocol the same family (category)
+and reference citation. The doc's free-text mechanism column is not checked.
+Exit status 1 on any mismatch, listing every difference.
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def parse_md_table(lines, required):
+    """Parse the first markdown table containing all `required` headers.
+
+    Returns a list of dicts keyed by lower-cased header names (first word:
+    'source (src/routing/)' -> 'source').
+    """
+    rows = []
+    headers = None
+    for line in lines:
+        line = line.strip()
+        if not line.startswith("|"):
+            if headers and rows:
+                break  # table ended
+            headers = None
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if headers is None:
+            candidate = [c.lower().split()[0] if c else "" for c in cells]
+            if all(r in candidate for r in required):
+                headers = candidate
+            continue
+        if set(line) <= {"|", "-", " ", ":"}:
+            continue  # separator row
+        if len(cells) != len(headers):
+            continue
+        rows.append(dict(zip(headers, cells)))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("doc", help="path to docs/PROTOCOLS.md")
+    parser.add_argument(
+        "--cli",
+        help="vanet_cli binary to run `list` on (default: read it from stdin)",
+    )
+    args = parser.parse_args()
+
+    if args.cli:
+        out = subprocess.run(
+            [args.cli, "list"], check=True, capture_output=True, text=True
+        ).stdout
+    else:
+        out = sys.stdin.read()
+
+    registry = {
+        r["protocol"]: r
+        for r in parse_md_table(out.splitlines(), ["protocol", "category", "ref"])
+    }
+    if not registry:
+        sys.exit("check_protocols_md: could not parse `vanet_cli list` output")
+
+    with open(args.doc) as f:
+        doc_rows = parse_md_table(
+            f.read().splitlines(), ["protocol", "family", "reference"]
+        )
+    # Registry names appear as `code` in the doc.
+    doc = {r["protocol"].strip("`"): r for r in doc_rows}
+    if not doc:
+        sys.exit(f"check_protocols_md: no protocol table found in {args.doc}")
+
+    problems = []
+    for name in sorted(set(registry) - set(doc)):
+        problems.append(f"{name}: registered but missing from {args.doc}")
+    for name in sorted(set(doc) - set(registry)):
+        problems.append(f"{name}: documented but not in the registry")
+    for name in sorted(set(doc) & set(registry)):
+        want_family = registry[name]["category"]
+        got_family = doc[name]["family"]
+        if got_family != want_family:
+            problems.append(
+                f"{name}: family '{got_family}' != registry '{want_family}'"
+            )
+        want_ref = registry[name]["ref"]
+        got_ref = doc[name]["reference"]
+        if got_ref != want_ref:
+            problems.append(
+                f"{name}: reference '{got_ref}' != registry '{want_ref}'"
+            )
+
+    if problems:
+        print(f"check_protocols_md: {args.doc} disagrees with the registry:",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_protocols_md: {len(doc)} protocols match the live registry"
+    )
+
+
+if __name__ == "__main__":
+    main()

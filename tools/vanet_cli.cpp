@@ -12,7 +12,9 @@
 //
 // Any ScenarioConfig field is reachable via --set key=value and sweepable
 // via --sweep key=v1,v2,... (see `--keys` for the full list). Mobility
-// traces: --mobility trace --trace FILE replays a SUMO-like CSV.
+// traces: --mobility trace --trace FILE replays a SUMO-like CSV. Custom
+// maps: --set map.source=file --set map.file=FILE drives graph-constrained
+// mobility over an edge-list CSV (see map/builders.h for the schema).
 // Output goes through a ReportSink: --format md (default) | csv | jsonl.
 // Invoked without a subcommand, flags are interpreted as `run` (the historic
 // single-scenario interface).
@@ -43,9 +45,9 @@ using namespace vanet;
       << "\nscenario options:\n"
       << "  --protocol NAME      routing protocol (default aodv; see list)\n"
       << "  --protocols A,B,C    compare several protocols\n"
-      << "  --mobility KIND      highway | manhattan | trace\n"
+      << "  --mobility KIND      highway | manhattan | trace | graph\n"
       << "  --trace FILE         SUMO-like CSV for --mobility trace\n"
-      << "  --vehicles N         per direction (highway) / total (manhattan)\n"
+      << "  --vehicles N         per direction (highway) / total (urban kinds)\n"
       << "  --duration S         simulated seconds (default 60)\n"
       << "  --range M            unit-disk radio range (default 250)\n"
       << "  --shadowing          log-normal shadowing channel instead\n"
@@ -53,7 +55,9 @@ using namespace vanet;
       << "  --buses N            bus ferries (default 0)\n"
       << "  --flows N            CBR flows (default 8)\n"
       << "  --rate PPS           packets per second per flow (default 1)\n"
-      << "  --set KEY=VALUE      override any config field (repeatable)\n"
+      << "  --set KEY=VALUE      override any config field (repeatable);\n"
+      << "                       map.source=file + map.file=F load a custom\n"
+      << "                       edge-list CSV map (implies graph mobility)\n"
       << "  --keys               print all --set/--sweep keys and exit\n"
       << "\nexperiment options:\n"
       << "  --sweep KEY=V1,V2    add a sweep axis (repeatable; first axis\n"
@@ -174,7 +178,7 @@ int main(int argc, char** argv) {
         sim::config_set(spec.base, "mobility", kind);
       } catch (const std::invalid_argument&) {
         fail("invalid value '" + kind +
-             "' for --mobility (highway | manhattan | trace)");
+             "' for --mobility (highway | manhattan | trace | graph)");
       }
     } else if (arg == "--trace") {
       trace_file = next();
