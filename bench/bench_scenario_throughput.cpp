@@ -1,23 +1,29 @@
 // Scenario-throughput harness for the PHY/MAC hot path.
 //
-// Runs fixed-seed scenarios across the four mobility families (highway /
-// Manhattan / trace playback / graph-constrained) and a population sweep,
-// and emits one machine-readable JSON document: wall time, simulator events
-// dispatched, events/sec and the canonical report digest per run. CI runs
-// `--smoke` and fails on malformed output; BENCH_*.json files in the repo
-// root track the full sweep before/after perf work (see docs/PERFORMANCE.md).
+// Runs fixed-seed scenarios across the mobility families (highway /
+// Manhattan / trace playback / graph-constrained) plus the `map-aware`
+// routing family (zone/grid/gvgrid with route geometry over an imported
+// irregular map) and a population sweep, and emits one machine-readable JSON
+// document: wall time, simulator events dispatched, events/sec and the
+// canonical report digest per run. CI runs `--smoke` and fails on malformed
+// output; BENCH_*.json files in the repo root track the full sweep
+// before/after perf work (see docs/PERFORMANCE.md).
 //
 // Usage:
 //   bench_scenario_throughput [--smoke] [--out FILE]
-//       [--families highway,manhattan,trace,graph] [--sizes 100,250,500,1000]
-//       [--duration SECONDS] [--seed N]
+//       [--families highway,manhattan,trace,graph,map-aware]
+//       [--sizes 100,250,500,1000] [--duration SECONDS] [--seed N]
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "map/builders.h"
 #include "mobility/manhattan_grid.h"
 #include "mobility/trace.h"
 #include "sim/runner.h"
@@ -30,7 +36,8 @@ using vanet::sim::ScenarioConfig;
 using vanet::sim::TimedRun;
 
 struct Options {
-  std::vector<std::string> families{"highway", "manhattan", "trace", "graph"};
+  std::vector<std::string> families{"highway", "manhattan", "trace", "graph",
+                                    "map-aware"};
   std::vector<int> sizes{100, 250, 500, 1000};
   double duration_s = 10.0;
   std::uint64_t seed = 1;
@@ -59,7 +66,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     };
     try {
       if (arg == "--smoke") {
-        opt.families = {"manhattan"};
+        // One cheap lattice row plus one map-aware row, so CI's
+        // bench_compare guards the route-geometry path as well.
+        opt.families = {"manhattan", "map-aware"};
         opt.sizes = {100};
         opt.duration_s = 2.0;
       } else if (arg == "--out") {
@@ -108,6 +117,72 @@ void apply_common(ScenarioConfig& cfg, const Options& opt) {
   cfg.sample_reachability = true;
 }
 
+// Deterministic 64-bit mix (SplitMix64): integer-only, so the generated city
+// below is bit-identical on every platform — no libm in the coordinates.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Irregular city for the map-aware family: a 6x6 street network with
+/// hash-jittered intersections (±64 m, exact dyadic offsets) and a sprinkle
+/// of diagonal shortcuts — pointedly NOT a lattice (is_grid() is false), so
+/// the route-geometry code paths actually run. ~2 km on a side.
+vanet::map::RoadGraph irregular_city() {
+  const int nx = 6, ny = 6;
+  const double block = 400.0;
+  vanet::map::RoadGraph g;
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const std::uint64_t h = mix64(static_cast<std::uint64_t>(iy * nx + ix));
+      const double dx = (static_cast<double>(h & 255u) - 128.0) * 0.5;
+      const double dy = (static_cast<double>((h >> 8) & 255u) - 128.0) * 0.5;
+      g.add_intersection({ix * block + dx, iy * block + dy});
+    }
+  }
+  const auto at = [nx](int ix, int iy) { return iy * nx + ix; };
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      if (ix + 1 < nx) g.add_segment(at(ix, iy), at(ix + 1, iy));
+      if (iy + 1 < ny) g.add_segment(at(ix, iy), at(ix, iy + 1));
+      const std::uint64_t h = mix64(static_cast<std::uint64_t>(iy * nx + ix));
+      if (ix + 1 < nx && iy + 1 < ny && ((h >> 16) & 7u) == 0u) {
+        g.add_segment(at(ix, iy), at(ix + 1, iy + 1));
+      }
+    }
+  }
+  return g;
+}
+
+/// Writes the irregular city once and hands out its CSV path (the map-aware
+/// family goes through `map.source=file`, the same path users take). The
+/// name carries the PID so concurrent bench runs on one machine never read
+/// each other's half-written file.
+const std::string& irregular_city_csv() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() /
+         ("vanet_bench_city." + std::to_string(::getpid()) + ".csv"))
+            .string();
+    vanet::map::save_edge_list_csv_file(irregular_city(), p);
+    return p;
+  }();
+  return path;
+}
+
+/// Which geometry protocol a map-aware row runs. A function of the vehicle
+/// count alone — never of the position in --sizes — so any subset of sizes
+/// reproduces the committed baseline rows exactly (bench_compare matches on
+/// family+vehicles and would otherwise report a spurious digest mismatch).
+const char* geometry_protocol_for(int vehicles) {
+  if (vehicles < 200) return "zone";
+  if (vehicles < 400) return "grid";
+  if (vehicles < 750) return "gvgrid";
+  return "zone";
+}
+
 vanet::mobility::ManhattanConfig manhattan_for(int vehicles) {
   vanet::mobility::ManhattanConfig m;
   // Keep the area fixed (urban density sweep): 10x10 streets, 200 m blocks.
@@ -122,7 +197,19 @@ ScenarioConfig make_config(const std::string& family, int vehicles,
                            const Options& opt) {
   ScenarioConfig cfg;
   apply_common(cfg, opt);
-  if (family == "highway") {
+  if (family == "map-aware") {
+    // Route-geometry protocols over the imported irregular city; the
+    // population bands rotate through the three geometry protocols so the
+    // default sweep guards each of them.
+    cfg.map.source = vanet::sim::MapSource::kFile;
+    cfg.map.file = irregular_city_csv();
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = vehicles;
+    cfg.protocol = geometry_protocol_for(vehicles);
+    cfg.zone_geometry = vanet::routing::GeometryMode::kRoute;
+    cfg.grid_geometry = vanet::routing::GeometryMode::kRoute;
+    cfg.gvgrid_geometry = vanet::routing::GeometryMode::kRoute;
+  } else if (family == "highway") {
     cfg.mobility = MobilityKind::kHighway;
     cfg.vehicles_per_direction = vehicles / 2;
   } else if (family == "manhattan") {
@@ -163,6 +250,7 @@ void append_json_run(std::string& out, const std::string& family, int vehicles,
   os.precision(17);
   os << "    {\n"
      << "      \"family\": \"" << family << "\",\n"
+     << "      \"protocol\": \"" << run.report.protocol << "\",\n"
      << "      \"vehicles\": " << run.vehicles << ",\n"
      << "      \"requested_vehicles\": " << vehicles << ",\n"
      << "      \"seed\": " << opt.seed << ",\n"

@@ -187,6 +187,97 @@ std::vector<int> RoadGraph::shortest_path_by_length(int from, int to) const {
   return shortest_path(from, to, [this](int seg) { return segment_length(seg); });
 }
 
+namespace {
+
+/// True when the open interiors of [a1,b1] and [a2,b2] properly cross.
+/// Collinear / endpoint-touching cases return false — those are handled by
+/// the distance and angle tests in the caller, which are conservative.
+bool segments_properly_cross(core::Vec2 a1, core::Vec2 b1, core::Vec2 a2,
+                             core::Vec2 b2) {
+  const auto side = [](core::Vec2 p, core::Vec2 q, core::Vec2 r) {
+    return (q - p).cross(r - p);
+  };
+  const double d1 = side(a2, b2, a1);
+  const double d2 = side(a2, b2, b1);
+  const double d3 = side(a1, b1, a2);
+  const double d4 = side(a1, b1, b2);
+  return ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0)) &&
+         ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0));
+}
+
+/// Min distance between the closed segments (0 when they properly cross).
+double segment_segment_distance(core::Vec2 a1, core::Vec2 b1, core::Vec2 a2,
+                                core::Vec2 b2) {
+  if (segments_properly_cross(a1, b1, a2, b2)) return 0.0;
+  return std::min(std::min(core::distance_to_segment(a1, a2, b2),
+                           core::distance_to_segment(b1, a2, b2)),
+                  std::min(core::distance_to_segment(a2, a1, b1),
+                           core::distance_to_segment(b2, a1, b1)));
+}
+
+}  // namespace
+
+std::vector<bool> ambiguous_interior_segments(const RoadGraph& graph,
+                                              double clearance_m,
+                                              double min_sin) {
+  const std::size_t n = graph.segment_count();
+  std::vector<bool> flagged(n, false);
+  std::vector<core::Vec2> pa(n), pb(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto [a, b] = graph.segment_ends(static_cast<int>(s));
+    pa[s] = graph.intersection_pos(a);
+    pb[s] = graph.intersection_pos(b);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto [sa, sb] = graph.segment_ends(static_cast<int>(s));
+    for (std::size_t t = s + 1; t < n; ++t) {
+      // Inflated-bbox prefilter: pairs further apart than the clearance can
+      // never tie a query within it.
+      if (std::min(pa[s].x, pb[s].x) > std::max(pa[t].x, pb[t].x) + clearance_m ||
+          std::min(pa[t].x, pb[t].x) > std::max(pa[s].x, pb[s].x) + clearance_m ||
+          std::min(pa[s].y, pb[s].y) > std::max(pa[t].y, pb[t].y) + clearance_m ||
+          std::min(pa[t].y, pb[t].y) > std::max(pa[s].y, pb[s].y) + clearance_m) {
+        continue;
+      }
+      const auto [ta, tb] = graph.segment_ends(static_cast<int>(t));
+      bool conflict = false;
+      const int shared = (sa == ta || sa == tb) ? sa
+                         : (sb == ta || sb == tb) ? sb
+                                                  : -1;
+      if (shared >= 0) {
+        // Incident pair: only a near-collinear departure *on the same side*
+        // lets one segment's interior shadow the other (overlap). A straight
+        // road continuing through the intersection (opposite sides, dot < 0)
+        // is safe: an interior point of one segment keeps the full distance
+        // to the shared node from the other. Right-angle lattices never
+        // trigger either branch.
+        const core::Vec2 p = graph.intersection_pos(shared);
+        const core::Vec2 u = (graph.intersection_pos(sa == shared ? sb : sa) - p)
+                                 .normalized();
+        const core::Vec2 v = (graph.intersection_pos(ta == shared ? tb : ta) - p)
+                                 .normalized();
+        conflict = std::abs(u.cross(v)) < min_sin && u.dot(v) > 0.0;
+        // A far endpoint sitting on (or hugging) the other segment's interior
+        // is a T-junction modelled without a node — also ambiguous.
+        if (!conflict) {
+          const core::Vec2 s_far = graph.intersection_pos(sa == shared ? sb : sa);
+          const core::Vec2 t_far = graph.intersection_pos(ta == shared ? tb : ta);
+          conflict = core::distance_to_segment(s_far, pa[t], pb[t]) < clearance_m ||
+                     core::distance_to_segment(t_far, pa[s], pb[s]) < clearance_m;
+        }
+      } else {
+        conflict =
+            segment_segment_distance(pa[s], pb[s], pa[t], pb[t]) < clearance_m;
+      }
+      if (conflict) {
+        flagged[s] = true;
+        flagged[t] = true;
+      }
+    }
+  }
+  return flagged;
+}
+
 void SegmentDensityOracle::set_count(int seg, double vehicles) {
   counts_.at(static_cast<std::size_t>(seg)) = vehicles;
 }

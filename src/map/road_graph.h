@@ -113,6 +113,22 @@ class RoadGraph {
   double grid_block_ = 0.0;
 };
 
+/// Flags segments whose interior points cannot be trusted to identify the
+/// segment uniquely: another segment crosses (or passes within `clearance_m`
+/// of) the interior, or an incident segment leaves the shared intersection at
+/// a near-collinear angle (|sin| < `min_sin`). On such segments a position
+/// can be (near-)equidistant from two roads, so "the segment this vehicle
+/// drives on" and "the segment nearest this position" may legitimately
+/// disagree. The incremental density oracle (sim/scenario.cpp) only trusts a
+/// mobility model's self-reported segment when it is NOT flagged here —
+/// anything flagged falls back to the SegmentIndex query, which keeps the
+/// incremental refresh bit-identical to the full rescan. Conservative by
+/// construction: over-flagging only costs an index query, never correctness.
+/// Lattice graphs flag nothing (segments meet only at right angles).
+std::vector<bool> ambiguous_interior_segments(const RoadGraph& graph,
+                                              double clearance_m = 0.01,
+                                              double min_sin = 0.01);
+
 /// Shared per-segment vehicle-count estimates (see header comment).
 class SegmentDensityOracle {
  public:

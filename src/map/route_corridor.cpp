@@ -1,0 +1,60 @@
+#include "map/route_corridor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/assert.h"
+
+namespace vanet::map {
+
+void RouteCorridor::add_segment(int seg) {
+  if (std::find(segments_.begin(), segments_.end(), seg) != segments_.end()) {
+    return;
+  }
+  segments_.push_back(seg);
+  length_ += graph_->segment_length(seg);
+}
+
+int RouteCorridor::entry_intersection(const RoadGraph& graph, int segment,
+                                      core::Vec2 pos) {
+  const auto [a, b] = graph.segment_ends(segment);  // a < b
+  const double da = (graph.intersection_pos(a) - pos).norm_sq();
+  const double db = (graph.intersection_pos(b) - pos).norm_sq();
+  return da <= db ? a : b;
+}
+
+RouteCorridor RouteCorridor::between(const RoadGraph& graph,
+                                     const SegmentIndex& index, core::Vec2 src,
+                                     core::Vec2 dst) {
+  VANET_ASSERT_MSG(&index.graph() == &graph,
+                   "segment index built over a different graph");
+  RouteCorridor c;
+  c.graph_ = &graph;
+  const int src_seg = index.nearest_segment(src);
+  const int dst_seg = index.nearest_segment(dst);
+  const std::vector<int> route =
+      graph.shortest_path_by_length(entry_intersection(graph, src_seg, src),
+                                    entry_intersection(graph, dst_seg, dst));
+  c.route_found_ = !route.empty();
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    c.add_segment(graph.segment_between(route[i], route[i + 1]));
+  }
+  // Mid-block endpoints must be inside their own corridor even when the
+  // route enters the graph at the far end of their street.
+  c.add_segment(src_seg);
+  c.add_segment(dst_seg);
+  return c;
+}
+
+double RouteCorridor::distance_to(core::Vec2 pos) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const int seg : segments_) {
+    const auto [a, b] = graph_->segment_ends(seg);
+    best = std::min(best,
+                    core::distance_to_segment(pos, graph_->intersection_pos(a),
+                                              graph_->intersection_pos(b)));
+  }
+  return best;
+}
+
+}  // namespace vanet::map

@@ -141,4 +141,15 @@ int GraphMobilityModel::current_segment(VehicleId id) const {
   return graph_->segment_between(c.from, c.to);
 }
 
+int GraphMobilityModel::reported_segment(std::size_t i) const {
+  const Car& c = cars_.at(i);
+  const int seg = graph_->segment_between(c.from, c.to);
+  // Near an endpoint the incident streets approach equidistance and the
+  // nearest-segment tie-break may pick a lower id; decline rather than guess.
+  if (c.along <= kEdgeMargin || c.along >= graph_->segment_length(seg) - kEdgeMargin) {
+    return -1;
+  }
+  return seg;
+}
+
 }  // namespace vanet::mobility

@@ -47,6 +47,10 @@ class GraphMobilityModel final : public MobilityModel {
 
   void step(double dt, core::Rng& rng) override;
   const std::vector<VehicleState>& vehicles() const override { return states_; }
+  /// Driven segment when strictly inside it (see MobilityModel contract);
+  /// -1 within kEdgeMargin of an endpoint, where nearest-segment ties with
+  /// the other incident streets are possible.
+  int reported_segment(std::size_t i) const override;
 
   const map::RoadGraph& graph() const { return *graph_; }
   const GraphMobilityConfig& config() const { return cfg_; }
@@ -63,6 +67,9 @@ class GraphMobilityModel final : public MobilityModel {
     std::size_t path_idx = 0;  ///< index of `to` within `path`
     double speed = 13.9;       ///< m/s, constant per vehicle
   };
+
+  /// Endpoint clearance below which reported_segment declines to answer.
+  static constexpr double kEdgeMargin = 0.01;  ///< metres
 
   /// Draw a destination reachable from `at` and install the path; falls back
   /// to a random neighbor hop when no distinct destination is reachable.

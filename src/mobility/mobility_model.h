@@ -23,6 +23,20 @@ class MobilityModel {
   /// Current states; ids are stable and unique across the model's lifetime.
   virtual const std::vector<VehicleState>& vehicles() const = 0;
 
+  /// Road segment (shared map::RoadGraph id) that vehicle `i` — an index into
+  /// vehicles() — is *provably* driving strictly inside right now, or -1 when
+  /// the model does not know (default) or cannot prove it (vehicle at or near
+  /// an intersection). A non-negative return is a contract: the position is a
+  /// point of that segment's interior, at least ~1 cm from either endpoint,
+  /// so `map::SegmentIndex::nearest_segment(pos)` returns exactly this id
+  /// unless the segment is flagged by map::ambiguous_interior_segments. The
+  /// scenario's incremental density oracle relies on that equivalence; when
+  /// in doubt, return -1 — it only costs the caller an index query.
+  virtual int reported_segment(std::size_t i) const {
+    (void)i;
+    return -1;
+  }
+
   /// Linear-scan lookup by id (models keep vehicles() small enough that the
   /// hot path — MobilityManager — maintains its own index instead).
   const VehicleState& state(VehicleId id) const {

@@ -55,7 +55,8 @@ Trace Trace::load_csv(std::istream& in) {
       throw std::runtime_error("trace csv: malformed line " +
                                std::to_string(line_no) + ": " + line);
     }
-    trace.add(id, TraceSample{vals[0], vals[1], vals[2], vals[3], vals[4]});
+    trace.add(id,
+              TraceSample{vals[0], vals[1], vals[2], vals[3], vals[4], line_no});
   }
   return trace;
 }

@@ -21,6 +21,10 @@ struct TraceSample {
   double y = 0.0;       ///< m
   double speed = 0.0;   ///< m/s
   double angle = 0.0;   ///< heading in radians, atan2 convention
+  /// Source CSV line of this sample (1-based); 0 for samples built in memory
+  /// (TraceRecorder, tests). Diagnostics only — save_csv does not persist it
+  /// — so trace↔map validation errors can point at the offending input line.
+  std::size_t line = 0;
 };
 
 /// In-memory trace: per-vehicle samples sorted by time.

@@ -1,0 +1,26 @@
+#include "routing/corridor_cache.h"
+
+namespace vanet::routing {
+
+const map::RouteCorridor& CorridorCache::between(const map::RoadGraph& graph,
+                                                 const map::SegmentIndex& index,
+                                                 std::uint64_t key,
+                                                 core::Vec2 src,
+                                                 core::Vec2 dst) {
+  const int ss = index.nearest_segment(src);
+  const int ds = index.nearest_segment(dst);
+  const int se = map::RouteCorridor::entry_intersection(graph, ss, src);
+  const int de = map::RouteCorridor::entry_intersection(graph, ds, dst);
+  Entry& e = entries_[key];
+  if (e.src_segment != ss || e.dst_segment != ds || e.src_entry != se ||
+      e.dst_entry != de) {
+    e.corridor = map::RouteCorridor::between(graph, index, src, dst);
+    e.src_segment = ss;
+    e.dst_segment = ds;
+    e.src_entry = se;
+    e.dst_entry = de;
+  }
+  return e.corridor;
+}
+
+}  // namespace vanet::routing

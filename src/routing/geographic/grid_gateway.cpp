@@ -16,8 +16,34 @@ core::Vec2 GridGatewayProtocol::cell_center(core::Vec2 pos) const {
   return {cx, cy};
 }
 
+bool GridGatewayProtocol::road_mode() const {
+  return geometry_ == GeometryMode::kRoute && has_map() && !road_map().is_grid();
+}
+
+const map::SegmentCells& GridGatewayProtocol::road_cells() const {
+  if (!road_cells_) {
+    road_cells_ = std::make_unique<map::SegmentCells>(road_map(), cell());
+  }
+  return *road_cells_;
+}
+
 bool GridGatewayProtocol::is_gateway() const {
   const core::Vec2 here = network().position(self());
+  if (road_mode()) {
+    // Road cell: membership follows the nearest street, the election
+    // reference point is the cell's road anchor.
+    const map::SegmentCells& cells = road_cells();
+    const int my_cell = cells.cell_at(here, segment_index());
+    const core::Vec2 anchor = cells.anchor(my_cell);
+    const double my_dist = (here - anchor).norm();
+    for (const auto& nbr : neighbors().snapshot()) {
+      const core::Vec2 pos = nbr.predicted_pos(now());
+      if (cells.cell_at(pos, segment_index()) != my_cell) continue;
+      const double d = (pos - anchor).norm();
+      if (d < my_dist || (d == my_dist && nbr.id < self())) return false;
+    }
+    return true;
+  }
   const core::Vec2 center = cell_center(here);
   const double my_dist = (here - center).norm();
   for (const auto& nbr : neighbors().snapshot()) {
@@ -29,7 +55,20 @@ bool GridGatewayProtocol::is_gateway() const {
   return true;
 }
 
-bool GridGatewayProtocol::inside_corridor(const GridHeader& h) const {
+bool GridGatewayProtocol::inside_corridor(const net::Packet& p,
+                                          const GridHeader& h) const {
+  if (road_mode()) {
+    const map::RouteCorridor& corridor = corridors_.between(
+        road_map(), segment_index(),
+        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos);
+    if (corridor.route_found()) {
+      const map::SegmentCells& cells = road_cells();
+      const core::Vec2 anchor = cells.anchor(
+          cells.cell_at(network().position(self()), segment_index()));
+      return corridor.contains(anchor, corridor_half_width_);
+    }
+    // No road route between the endpoints: straight-line confinement below.
+  }
   const core::Vec2 center = cell_center(network().position(self()));
   return core::distance_to_segment(center, h.src_pos, h.dst_pos) <=
          corridor_half_width_;
@@ -60,7 +99,7 @@ void GridGatewayProtocol::handle_frame(const net::Packet& p) {
   }
   // Members read and process but do not retransmit; only gateways relay,
   // and only inside the corridor toward the destination.
-  if (!is_gateway() || !inside_corridor(*h)) return;
+  if (!is_gateway() || !inside_corridor(p, *h)) return;
   if (p.ttl <= 1) {
     ++events().data_dropped_ttl;
     return;

@@ -1,15 +1,28 @@
 // Grid/gateway routing (CarNet [20], LORA-DCBF [26], Sec. VI).
 //
-// The plane is partitioned into fixed grid cells; within each cell a single
-// *gateway* vehicle relays packets while ordinary members stay silent — "all
-// the members in the zone can read and process the packet; they do not
+// Space is partitioned into cells; within each cell a single *gateway*
+// vehicle relays packets while ordinary members stay silent — "all the
+// members in the zone can read and process the packet; they do not
 // retransmit". The gateway is elected locally: the vehicle closest to the
-// cell centre among the cell's members known from the neighbor table
-// (deterministic tie-break by id). Forwarding is additionally confined to a
-// corridor toward the destination (LORA-DCBF's directional flooding).
+// cell's reference point among the cell's members known from the neighbor
+// table (deterministic tie-break by id). Forwarding is additionally confined
+// to a corridor toward the destination (LORA-DCBF's directional flooding).
+//
+// Two cell/corridor geometries (GeometryMode, `grid.geometry`):
+//  - kLine (default): fixed square coordinate cells (reference point = the
+//    square's centre) and a straight src→dst corridor.
+//  - kRoute: cells are groups of road segments (map::SegmentCells) — a
+//    vehicle belongs to the cell of the street it is on, the reference point
+//    is the cell's road anchor, and the corridor follows the shortest road
+//    route between the endpoints. Reduces to kLine on lattice maps or when
+//    no map is bound.
 #pragma once
 
+#include <memory>
+
 #include "core/vec2.h"
+#include "map/segment_cells.h"
+#include "routing/corridor_cache.h"
 #include "routing/dup_cache.h"
 #include "routing/protocol.h"
 
@@ -25,9 +38,12 @@ class GridGatewayProtocol final : public RoutingProtocol {
   /// `cell_size` <= 0 selects automatic sizing: 0.8 x the radio's nominal
   /// range, so that neighboring gateways can always hear each other (a cell
   /// larger than the radio range breaks the gateway relay chain).
-  explicit GridGatewayProtocol(double cell_size = 0.0,
+  explicit GridGatewayProtocol(GeometryMode geometry = GeometryMode::kLine,
+                               double cell_size = 0.0,
                                double corridor_half_width = 600.0)
-      : cell_size_{cell_size}, corridor_half_width_{corridor_half_width} {}
+      : cell_size_{cell_size},
+        corridor_half_width_{corridor_half_width},
+        geometry_{geometry} {}
 
   bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
                  std::size_t bytes) override;
@@ -39,15 +55,24 @@ class GridGatewayProtocol final : public RoutingProtocol {
 
   /// Exposed for tests: gateway election result for this node right now.
   bool is_gateway() const;
+  GeometryMode geometry() const { return geometry_; }
 
  private:
   double cell() const;
   core::Vec2 cell_center(core::Vec2 pos) const;
-  bool inside_corridor(const GridHeader& h) const;
+  bool inside_corridor(const net::Packet& p, const GridHeader& h) const;
+  /// kRoute requested AND a non-lattice map is bound (see GeometryMode).
+  bool road_mode() const;
+  const map::SegmentCells& road_cells() const;
 
   double cell_size_;
   double corridor_half_width_;
+  GeometryMode geometry_;
   DupCache seen_;
+  /// Lazily built on first use (cell sizing needs the bound network's radio
+  /// range); per-instance, immutable afterwards.
+  mutable std::unique_ptr<map::SegmentCells> road_cells_;
+  mutable CorridorCache corridors_;  ///< kRoute only, keyed by (origin, dst)
 
   static constexpr int kGridTtl = 20;
   static constexpr double kJitterMs = 15.0;

@@ -19,8 +19,16 @@ bool ZoneProtocol::originate(net::NodeId dst, std::uint32_t flow,
   return true;
 }
 
-bool ZoneProtocol::inside_zone(const ZoneHeader& h) const {
+bool ZoneProtocol::inside_zone(const net::Packet& p, const ZoneHeader& h) const {
   const core::Vec2 here = network().position(self());
+  if (geometry_ == GeometryMode::kRoute && has_map() && !road_map().is_grid()) {
+    const map::RouteCorridor& corridor = corridors_.between(
+        road_map(), segment_index(),
+        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos);
+    // Disconnected endpoints have no road route: the straight-line zone is
+    // then the only corridor that exists.
+    if (corridor.route_found()) return corridor.contains(here, h.half_width);
+  }
   return core::distance_to_segment(here, h.src_pos, h.dst_pos) <= h.half_width;
 }
 
@@ -34,7 +42,7 @@ void ZoneProtocol::handle_frame(const net::Packet& p) {
     return;
   }
   // Outside the corridor: drop silently — that is the whole point of zones.
-  if (!inside_zone(*h)) return;
+  if (!inside_zone(p, *h)) return;
   if (p.ttl <= 1) {
     ++events().data_dropped_ttl;
     return;

@@ -4,9 +4,19 @@
 // vehicles inside the zone rebroadcast, vehicles outside drop. The effect
 // (Fig. 6) is flooding confined to the section of road that actually leads
 // to the destination.
+//
+// Two corridor geometries (GeometryMode, selected via `zone.geometry`):
+//  - kLine (default): the legacy straight src→dst segment — faithful on
+//    lattice maps, where every point near the line is near a road.
+//  - kRoute: the corridor follows the shortest road route between the
+//    endpoints (map::RouteCorridor), so on an imported map the flood stays on
+//    streets that lead to the destination instead of cutting across roadless
+//    blocks. Reduces to kLine on lattice maps, when no map is bound, or when
+//    the endpoints are in disconnected road components.
 #pragma once
 
 #include "core/vec2.h"
+#include "routing/corridor_cache.h"
 #include "routing/dup_cache.h"
 #include "routing/protocol.h"
 
@@ -20,7 +30,9 @@ struct ZoneHeader final : net::Header {
 
 class ZoneProtocol final : public RoutingProtocol {
  public:
-  explicit ZoneProtocol(double half_width = 250.0) : half_width_{half_width} {}
+  explicit ZoneProtocol(GeometryMode geometry = GeometryMode::kLine,
+                        double half_width = 250.0)
+      : half_width_{half_width}, geometry_{geometry} {}
 
   bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
                  std::size_t bytes) override;
@@ -29,11 +41,15 @@ class ZoneProtocol final : public RoutingProtocol {
   std::string_view name() const override { return "zone"; }
   Category category() const override { return Category::kGeographic; }
 
+  GeometryMode geometry() const { return geometry_; }
+
  private:
-  bool inside_zone(const ZoneHeader& h) const;
+  bool inside_zone(const net::Packet& p, const ZoneHeader& h) const;
 
   double half_width_;
+  GeometryMode geometry_;
   DupCache seen_;
+  mutable CorridorCache corridors_;  ///< kRoute only, keyed by (origin, dst)
 
   static constexpr int kZoneTtl = 16;
   static constexpr double kJitterMs = 15.0;

@@ -5,8 +5,28 @@
 
 namespace vanet::routing {
 
+bool GvGridProtocol::inside_route_corridor(const RreqHeader& h) const {
+  if (geometry_ != GeometryMode::kRoute || !has_map() || road_map().is_grid()) {
+    return true;  // legacy: discovery is unconfined
+  }
+  // The origin stamped its position into the RREQ; the target's position
+  // comes from the same idealized location service the geographic family
+  // uses (zone/grid stamp it at origination the same way).
+  const map::RouteCorridor& corridor = corridors_.between(
+      road_map(), segment_index(),
+      CorridorCache::pair_key(h.rreq_origin, h.target), h.origin_pos,
+      network().position(h.target));
+  if (!corridor.route_found()) return true;  // disconnected: no confinement
+  return corridor.contains(network().position(self()), corridor_half_width_);
+}
+
 LinkEval GvGridProtocol::evaluate_link(const RreqHeader& h) const {
   LinkEval ev;
+  if (!inside_route_corridor(h)) {
+    // Off the road route toward the target: do not take part in discovery.
+    ev.usable = false;
+    return ev;
+  }
   const core::Vec2 here = network().position(self());
   const core::Vec2 axis = here - h.prev_pos;
   const double d0 = axis.norm();

@@ -5,24 +5,42 @@
 // P(T > delta) from the stochastic lifetime model (LinkLifetimeDistribution).
 // The route with the highest product of link reliabilities that also meets a
 // hop (delay) bound is selected.
+//
+// GVGrid's defining trait in the source paper is that candidate routes follow
+// the road grid between source and destination. GeometryMode::kRoute
+// (`gvgrid.geometry=route`) restores that on imported maps: RREQ links are
+// admitted only when the evaluating node lies within a corridor around the
+// shortest road route from the request origin to the target
+// (map::RouteCorridor), so discovery floods along streets that lead there
+// instead of the whole connected component. On lattice maps — where the
+// legacy unconfined flood already explores road-shaped paths — kRoute
+// reduces to the kLine behavior, as does an unbound map or disconnected
+// endpoints.
 #pragma once
 
 #include "analysis/lifetime_distribution.h"
+#include "routing/corridor_cache.h"
 #include "routing/on_demand.h"
 
 namespace vanet::routing {
 
 class GvGridProtocol final : public OnDemandBase {
  public:
-  explicit GvGridProtocol(double reliability_horizon_s = 5.0,
-                          double speed_sigma = 2.0, int max_hops = 12)
+  explicit GvGridProtocol(GeometryMode geometry = GeometryMode::kLine,
+                          double reliability_horizon_s = 5.0,
+                          double speed_sigma = 2.0, int max_hops = 12,
+                          double corridor_half_width = 400.0)
       : horizon_{reliability_horizon_s},
         sigma_{speed_sigma},
-        max_hops_{max_hops} {}
+        max_hops_{max_hops},
+        geometry_{geometry},
+        corridor_half_width_{corridor_half_width} {}
 
   std::string_view name() const override { return "gvgrid"; }
   Category category() const override { return Category::kProbability; }
   bool wants_hello() const override { return true; }
+
+  GeometryMode geometry() const { return geometry_; }
 
  protected:
   LinkEval evaluate_link(const RreqHeader& h) const override;
@@ -30,9 +48,15 @@ class GvGridProtocol final : public OnDemandBase {
   bool reply_immediately() const override { return false; }
 
  private:
+  /// kRoute: is this node inside the road corridor origin→target?
+  bool inside_route_corridor(const RreqHeader& h) const;
+
   double horizon_;
   double sigma_;
   int max_hops_;
+  GeometryMode geometry_;
+  double corridor_half_width_;
+  mutable CorridorCache corridors_;  ///< keyed by (rreq_origin, target)
 };
 
 }  // namespace vanet::routing

@@ -1,6 +1,8 @@
 #include "routing/protocol.h"
 
 #include "core/assert.h"
+#include "map/road_graph.h"
+#include "map/segment_index.h"
 
 namespace vanet::routing {
 
@@ -20,12 +22,26 @@ void RoutingProtocol::bind(const ProtocolContext& ctx) {
   VANET_ASSERT_MSG(ctx_.sim == nullptr, "bind called twice");
   VANET_ASSERT_MSG(!wants_hello() || ctx.hello != nullptr,
                    "protocol requires a HelloService");
+  VANET_ASSERT_MSG((ctx.map == nullptr) == (ctx.segments == nullptr),
+                   "road graph and segment index must be bound together");
+  VANET_ASSERT_MSG(ctx.segments == nullptr || &ctx.segments->graph() == ctx.map,
+                   "segment index built over a different graph");
   ctx_ = ctx;
 }
 
 const net::NeighborTable& RoutingProtocol::neighbors() const {
   VANET_ASSERT_MSG(ctx_.hello != nullptr, "no hello service bound");
   return ctx_.hello->table(ctx_.self);
+}
+
+const map::RoadGraph& RoutingProtocol::road_map() const {
+  VANET_ASSERT_MSG(ctx_.map != nullptr, "no road map bound");
+  return *ctx_.map;
+}
+
+const map::SegmentIndex& RoutingProtocol::segment_index() const {
+  VANET_ASSERT_MSG(ctx_.segments != nullptr, "no segment index bound");
+  return *ctx_.segments;
 }
 
 net::Packet RoutingProtocol::make_data(net::NodeId dst, std::uint32_t flow,

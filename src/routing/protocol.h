@@ -16,7 +16,23 @@
 #include "net/network.h"
 #include "net/packet.h"
 
+namespace vanet::map {
+class RoadGraph;
+class SegmentIndex;
+}  // namespace vanet::map
+
 namespace vanet::routing {
+
+/// Geometry backend of the road-geometry protocols (zone / grid / gvgrid).
+/// kLine is the historical axis-aligned plane: straight src→dst corridors and
+/// square coordinate cells. kRoute reasons over the shared map instead —
+/// corridors follow the shortest road route (map::RouteCorridor) and cells
+/// group road segments (map::SegmentCells). On lattice maps (RoadGraph::
+/// is_grid()) kRoute intentionally reduces to the kLine predicates: every
+/// point near the straight line is near a road there, so the plane geometry
+/// IS the road geometry — which keeps the two modes decision-identical on
+/// grids (property-tested) and the golden digests stable.
+enum class GeometryMode { kLine, kRoute };
 
 /// The paper's taxonomy (Fig. 1).
 enum class Category {
@@ -54,6 +70,13 @@ struct ProtocolContext {
   core::Rng* rng = nullptr;
   ProtocolEvents* events = nullptr;
   net::NodeId self = 0;
+  // Shared road topology (src/map/), non-owning: the scenario that binds the
+  // protocol owns both and keeps them alive for the protocol's lifetime (see
+  // docs/ARCHITECTURE.md, "ProtocolContext ownership"). Null in harnesses
+  // that route over bare coordinates — protocols must treat the map as
+  // optional and fall back to their GeometryMode::kLine path.
+  const map::RoadGraph* map = nullptr;
+  const map::SegmentIndex* segments = nullptr;
 };
 
 class RoutingProtocol {
@@ -95,6 +118,12 @@ class RoutingProtocol {
   ProtocolEvents& events() const { return *ctx_.events; }
   /// Neighbor table of this node; precondition: wants_hello().
   const net::NeighborTable& neighbors() const;
+
+  /// True when the binder supplied the shared road topology.
+  bool has_map() const { return ctx_.map != nullptr && ctx_.segments != nullptr; }
+  /// Shared road graph / segment index; precondition: has_map().
+  const map::RoadGraph& road_map() const;
+  const map::SegmentIndex& segment_index() const;
 
   /// Fresh data packet originated here.
   net::Packet make_data(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,

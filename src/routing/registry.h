@@ -25,6 +25,11 @@ struct ProtocolDeps {
   std::shared_ptr<const map::SegmentDensityOracle> density;  ///< CAR
   std::shared_ptr<const FerrySet> ferries;                   ///< Bus
   int yan_tickets = 4;                                       ///< Yan TBP budget
+  // Geometry backend of the road-geometry protocols (kLine = legacy plane;
+  // kRoute additionally needs the map bound via ProtocolContext).
+  GeometryMode zone_geometry = GeometryMode::kLine;
+  GeometryMode grid_geometry = GeometryMode::kLine;
+  GeometryMode gvgrid_geometry = GeometryMode::kLine;
 };
 
 struct ProtocolInfo {

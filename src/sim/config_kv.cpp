@@ -99,6 +99,29 @@ Field string_field(std::string key, std::string& (*ref)(ScenarioConfig&)) {
   return f;
 }
 
+/// A routing::GeometryMode field: line (legacy plane) | route (map-aware).
+Field geometry_field(std::string key,
+                     routing::GeometryMode& (*ref)(ScenarioConfig&)) {
+  Field f;
+  f.key = std::move(key);
+  f.get = [ref](const ScenarioConfig& cfg) {
+    return ref(const_cast<ScenarioConfig&>(cfg)) == routing::GeometryMode::kRoute
+               ? std::string("route")
+               : std::string("line");
+  };
+  f.set = [ref](ScenarioConfig& cfg, const std::string& k,
+                const std::string& v) {
+    if (v == "line") {
+      ref(cfg) = routing::GeometryMode::kLine;
+    } else if (v == "route") {
+      ref(cfg) = routing::GeometryMode::kRoute;
+    } else {
+      bad_value(k, v, "line|route");
+    }
+  };
+  return f;
+}
+
 /// A SimTime field exposed in seconds.
 Field simtime_field(std::string key, core::SimTime& (*ref)(ScenarioConfig&)) {
   Field f;
@@ -154,6 +177,7 @@ std::vector<Field> build_fields() {
     fields.push_back(std::move(f));
   }
   fields.push_back(string_field("map.file", REF(map.file)));
+  num("map.trace_tolerance_m", REF(map.trace_tolerance_m));
   {
     Field f;
     f.key = "mobility";
@@ -219,6 +243,10 @@ std::vector<Field> build_fields() {
   num("yan_tickets", REF(yan_tickets));
   num("car_cell_m", REF(car_cell_m));
   num("sample_reachability", REF(sample_reachability));
+  num("density.incremental", REF(density_incremental));
+  fields.push_back(geometry_field("zone.geometry", REF(zone_geometry)));
+  fields.push_back(geometry_field("grid.geometry", REF(grid_geometry)));
+  fields.push_back(geometry_field("gvgrid.geometry", REF(gvgrid_geometry)));
 
   // --- highway.* -----------------------------------------------------------
   num("highway.length", REF(highway.length));

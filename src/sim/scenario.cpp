@@ -109,6 +109,34 @@ void Scenario::build_map() {
   segment_index_ = std::make_unique<map::SegmentIndex>(*road_graph_);
 }
 
+void Scenario::validate_trace_against_map() const {
+  const double tol = cfg_.map.trace_tolerance_m;
+  if (tol <= 0.0) return;
+  for (const auto& [id, samples] : cfg_.trace.samples()) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const mobility::TraceSample& s = samples[i];
+      const core::Vec2 pos{s.x, s.y};
+      const int seg = segment_index_->nearest_segment(pos);
+      const auto [a, b] = road_graph_->segment_ends(seg);
+      const double d = core::distance_to_segment(
+          pos, road_graph_->intersection_pos(a), road_graph_->intersection_pos(b));
+      if (d <= tol) continue;
+      // Same line-numbered style as the CSV importers, so a replayed real
+      // trace and an imported map cannot silently disagree.
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "trace<->map: vehicle %u sample %zu%s%s (t=%gs) at "
+                    "(%.1f, %.1f) is %.1f m from the nearest road segment "
+                    "(map.trace_tolerance_m=%g; nearest segment %d)",
+                    static_cast<unsigned>(id), i,
+                    s.line > 0 ? ", trace csv line " : "",
+                    s.line > 0 ? std::to_string(s.line).c_str() : "", s.t,
+                    s.x, s.y, d, tol, seg);
+      throw std::invalid_argument(buf);
+    }
+  }
+}
+
 void Scenario::build_mobility() {
   std::unique_ptr<mobility::MobilityModel> model;
   if (cfg_.mobility == MobilityKind::kHighway) {
@@ -125,6 +153,7 @@ void Scenario::build_mobility() {
     graph->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
     model = std::move(graph);
   } else {
+    if (cfg_.map.source == MapSource::kFile) validate_trace_against_map();
     auto playback = std::make_unique<mobility::TracePlaybackModel>(cfg_.trace);
     // Node ids mirror vehicle ids, so the trace must use dense ids.
     const auto& vs = playback->vehicles();
@@ -207,16 +236,33 @@ void Scenario::build_support() {
   // Density oracle over the shared road graph (built in build_map).
   density_ =
       std::make_shared<map::SegmentDensityOracle>(road_graph_->segment_count());
+  // Incremental refresh: graph mobility proves per-vehicle segments at tick
+  // time, so the 1 Hz refresh only queries the SegmentIndex for vehicles the
+  // model cannot vouch for (near intersections, or on segments whose
+  // interiors are geometrically ambiguous — none on lattices).
+  incremental_density_ =
+      cfg_.density_incremental && cfg_.mobility == MobilityKind::kGraph;
+  if (incremental_density_) {
+    segment_ambiguous_ = map::ambiguous_interior_segments(*road_graph_);
+  }
   schedule_density_updates();
 }
 
 void Scenario::update_density() {
   std::vector<double> counts(road_graph_->segment_count(), 0.0);
-  for (const auto& v : mobility_->vehicles()) {
-    // The index returns exactly RoadGraph::segment_of_position(pos) — see
-    // map/segment_index.h — without the O(segments) scan per vehicle.
-    counts[static_cast<std::size_t>(segment_index_->nearest_segment(v.pos))] +=
-        1.0;
+  const mobility::MobilityModel& model = mobility_->model();
+  const auto& vehicles = mobility_->vehicles();
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    int seg = incremental_density_ ? model.reported_segment(i) : -1;
+    if (seg >= 0 && segment_ambiguous_[static_cast<std::size_t>(seg)]) seg = -1;
+    if (seg < 0) {
+      // The index returns exactly RoadGraph::segment_of_position(pos) — see
+      // map/segment_index.h — without the O(segments) scan per vehicle; a
+      // proven reported_segment returns the same id without any query, which
+      // is what keeps the incremental and rescan refreshes digest-identical.
+      seg = segment_index_->nearest_segment(vehicles[i].pos);
+    }
+    counts[static_cast<std::size_t>(seg)] += 1.0;
   }
   for (std::size_t s = 0; s < counts.size(); ++s) {
     density_->set_count(static_cast<int>(s), counts[s]);
@@ -238,6 +284,9 @@ void Scenario::build_protocols() {
   deps.density = density_;
   deps.ferries = ferries_;
   deps.yan_tickets = cfg_.yan_tickets;
+  deps.zone_geometry = cfg_.zone_geometry;
+  deps.grid_geometry = cfg_.grid_geometry;
+  deps.gvgrid_geometry = cfg_.gvgrid_geometry;
 
   const auto ids = net_->node_ids();
   VANET_ASSERT_MSG(!ids.empty(), "scenario requires at least one node");
@@ -259,6 +308,10 @@ void Scenario::build_protocols() {
     ctx.rng = &rngs_.stream("proto");
     ctx.events = &events_;
     ctx.self = id;
+    // Every protocol sees the same shared road topology the vehicles drive
+    // on (non-owning; the scenario outlives the protocols).
+    ctx.map = road_graph_.get();
+    ctx.segments = segment_index_.get();
     protocols_[id]->bind(ctx);
 
     net_->set_receive_handler(id, [this, id](const net::Packet& p) {

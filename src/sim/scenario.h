@@ -39,6 +39,12 @@ struct MapSpec {
   /// A file map requires kGraph or kTrace mobility — the synthetic highway /
   /// Manhattan models generate their own geometry and would diverge from it.
   std::string file;
+  /// Trace↔map coupling guard: with trace mobility over a file map, every
+  /// trace sample must lie within this distance of some road segment, or the
+  /// scenario throws naming the offending vehicle/sample (and CSV line when
+  /// the trace was loaded from one). <= 0 disables the check. Ignores
+  /// generated maps — those are built to the mobility config, not vice versa.
+  double trace_tolerance_m = 25.0;
 };
 
 struct ScenarioConfig {
@@ -71,6 +77,18 @@ struct ScenarioConfig {
   int yan_tickets = 4;
   double car_cell_m = 500.0;        ///< road-graph granularity for CAR
   bool sample_reachability = true;  ///< 1 Hz src-dst connectivity oracle
+  /// Density-oracle refresh strategy: vehicles whose mobility model proves
+  /// the segment they drive on (MobilityModel::reported_segment) skip the
+  /// per-vehicle SegmentIndex query at the 1 Hz refresh. Bit-identical to
+  /// the full rescan by construction (see ambiguous_interior_segments);
+  /// `density.incremental=false` forces the rescan, mainly for the
+  /// equivalence test.
+  bool density_incremental = true;
+  // Geometry backend of the road-geometry protocols (`zone.geometry` etc.,
+  // values line|route — see routing::GeometryMode).
+  routing::GeometryMode zone_geometry = routing::GeometryMode::kLine;
+  routing::GeometryMode grid_geometry = routing::GeometryMode::kLine;
+  routing::GeometryMode gvgrid_geometry = routing::GeometryMode::kLine;
 
   TrafficConfig traffic;
 };
@@ -139,6 +157,7 @@ class Scenario {
 
  private:
   void build_map();
+  void validate_trace_against_map() const;
   void build_mobility();
   void build_network();
   void build_support();
@@ -163,6 +182,10 @@ class Scenario {
   std::shared_ptr<map::RoadGraph> road_graph_;
   std::unique_ptr<map::SegmentIndex> segment_index_;
   std::shared_ptr<map::SegmentDensityOracle> density_;
+  /// Segments whose interiors cannot prove nearest-segment identity; only
+  /// populated when the incremental density path is active (graph mobility).
+  std::vector<bool> segment_ambiguous_;
+  bool incremental_density_ = false;
   std::shared_ptr<routing::FerrySet> ferries_;
   std::uint64_t reachable_samples_ = 0;
   std::uint64_t total_samples_ = 0;

@@ -223,6 +223,25 @@ TEST(ConfigKv, RoundTripEveryKeyIndividually) {
   }
 }
 
+TEST(ConfigKv, GeometryModeKeysParseLineAndRouteOnly) {
+  ScenarioConfig cfg;
+  EXPECT_EQ(config_get(cfg, "zone.geometry"), "line");
+  config_set(cfg, "zone.geometry", "route");
+  EXPECT_EQ(cfg.zone_geometry, routing::GeometryMode::kRoute);
+  config_set(cfg, "grid.geometry", "route");
+  config_set(cfg, "gvgrid.geometry", "route");
+  EXPECT_EQ(cfg.grid_geometry, routing::GeometryMode::kRoute);
+  EXPECT_EQ(cfg.gvgrid_geometry, routing::GeometryMode::kRoute);
+  EXPECT_EQ(config_get(cfg, "gvgrid.geometry"), "route");
+  EXPECT_THROW(config_set(cfg, "zone.geometry", "plane"),
+               std::invalid_argument);
+
+  config_set(cfg, "map.trace_tolerance_m", "12.5");
+  EXPECT_DOUBLE_EQ(cfg.map.trace_tolerance_m, 12.5);
+  config_set(cfg, "density.incremental", "false");
+  EXPECT_FALSE(cfg.density_incremental);
+}
+
 TEST(ConfigKv, ParseSkipsCommentsAndRejectsGarbage) {
   ScenarioConfig cfg =
       parse_config("# provenance header\n\nvehicles=9\nprotocol=dsr\n");

@@ -76,6 +76,22 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     cfg.traffic.stop_s = 15.0;
     configs["graph-car"] = cfg;
   }
+  {
+    // Map-aware geometry on an imported non-lattice map: zone with route
+    // corridors over the committed town — pins RouteCorridor construction,
+    // the corridor cache refresh rule and the kRoute forwarding decisions.
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = 30;
+    cfg.protocol = "zone";
+    cfg.zone_geometry = routing::GeometryMode::kRoute;
+    cfg.traffic.stop_s = 15.0;
+    configs["town-zone-route"] = cfg;
+  }
   return configs;
 }
 

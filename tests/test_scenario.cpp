@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "map/builders.h"
@@ -255,6 +256,127 @@ TEST(Scenario, TracePlaybackOverFileMapPlacesRsusInsideTheMap) {
     EXPECT_LE(p.y, 2400.0);
   }
   std::remove(path.c_str());
+}
+
+TEST(Scenario, GeometryProtocolsRouteOverTheCommittedTownMap) {
+  // The map-aware acceptance path: zone/grid/gvgrid with route geometry over
+  // the committed irregular town, end to end. Zone (confined flooding) must
+  // actually deliver; the gateway/discovery protocols must at least run and
+  // originate on the same map.
+  const std::string town = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+  std::uint64_t delivered = 0;
+  for (const char* protocol : {"zone", "grid", "gvgrid"}) {
+    ScenarioConfig cfg = small_graph_scenario(protocol);
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = town;
+    cfg.vehicles = 50;
+    cfg.zone_geometry = routing::GeometryMode::kRoute;
+    cfg.grid_geometry = routing::GeometryMode::kRoute;
+    cfg.gvgrid_geometry = routing::GeometryMode::kRoute;
+    Scenario s{cfg};
+    EXPECT_FALSE(s.road_graph().is_grid());
+    s.run();
+    EXPECT_GT(s.report().originated, 0u) << protocol;
+    if (std::string{protocol} == "zone") {
+      EXPECT_GT(s.report().delivered, 0u) << protocol;
+    }
+    delivered += s.report().delivered;
+  }
+  EXPECT_GT(delivered, 0u);
+}
+
+TEST(Scenario, TraceMapCouplingRejectsOffMapSamples) {
+  map::RoadGraph g;  // one straight street along y = 0
+  g.add_intersection({0.0, 0.0});
+  g.add_intersection({1000.0, 0.0});
+  g.add_segment(0, 1);
+  const std::string path = ::testing::TempDir() + "vanet_coupling_map.csv";
+  map::save_edge_list_csv_file(g, path);
+
+  ScenarioConfig cfg;
+  cfg.map.source = MapSource::kFile;
+  cfg.map.file = path;
+  cfg.mobility = MobilityKind::kTrace;
+  cfg.duration_s = 5.0;
+  cfg.traffic.flows = 1;
+  cfg.trace.add(0, {0.0, 100.0, 0.0, 10.0, 0.0});
+  cfg.trace.add(0, {5.0, 150.0, 4.0, 10.0, 0.0});  // 4 m off: within tolerance
+  cfg.trace.add(1, {0.0, 300.0, 0.0, 10.0, 0.0});
+  cfg.trace.add(1, {5.0, 300.0, 90.0, 10.0, 0.0});  // 90 m off the only street
+
+  try {
+    Scenario s{cfg};
+    FAIL() << "off-map trace sample must be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // Names the vehicle, the sample, the offending distance and the knob.
+    EXPECT_NE(msg.find("vehicle 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("90.0 m"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("map.trace_tolerance_m"), std::string::npos) << msg;
+  }
+
+  // Loosening the tolerance (or disabling it) accepts the same trace.
+  cfg.map.trace_tolerance_m = 120.0;
+  EXPECT_NO_THROW(Scenario{cfg});
+  cfg.map.trace_tolerance_m = 0.0;
+  EXPECT_NO_THROW(Scenario{cfg});
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, TraceMapCouplingNamesTheCsvLine) {
+  map::RoadGraph g;
+  g.add_intersection({0.0, 0.0});
+  g.add_intersection({1000.0, 0.0});
+  g.add_segment(0, 1);
+  const std::string map_path = ::testing::TempDir() + "vanet_line_map.csv";
+  map::save_edge_list_csv_file(g, map_path);
+  const std::string trace_path = ::testing::TempDir() + "vanet_line_trace.csv";
+  {
+    std::ofstream out{trace_path};
+    out << "# time,id,x,y,speed,angle\n";
+    out << "0,0,100,0,10,0\n";
+    out << "1,0,200,500,10,0\n";  // line 3: 500 m off the street
+  }
+
+  ScenarioConfig cfg;
+  cfg.map.source = MapSource::kFile;
+  cfg.map.file = map_path;
+  cfg.mobility = MobilityKind::kTrace;
+  cfg.duration_s = 2.0;
+  cfg.trace = mobility::Trace::load_csv_file(trace_path);
+  try {
+    Scenario s{cfg};
+    FAIL() << "off-map trace sample must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("trace csv line 3"), std::string::npos)
+        << e.what();
+  }
+  std::remove(map_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Scenario, IncrementalDensityOracleIsDigestIdenticalToFullRescan) {
+  // CAR consumes the density oracle every forwarding decision, so a single
+  // diverging count would change the report; equal digests prove the
+  // incremental refresh (model-reported segments + ambiguity veto) matches
+  // the full SegmentIndex rescan bit for bit — on the lattice and on the
+  // committed irregular town.
+  for (const bool town : {false, true}) {
+    ScenarioConfig cfg = small_graph_scenario("car");
+    if (town) {
+      cfg.map.source = MapSource::kFile;
+      cfg.map.file = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+    }
+    cfg.duration_s = 10.0;
+    cfg.density_incremental = true;
+    Scenario incremental{cfg};
+    incremental.run();
+    cfg.density_incremental = false;
+    Scenario rescan{cfg};
+    rescan.run();
+    EXPECT_EQ(report_digest(incremental.report()), report_digest(rescan.report()))
+        << (town ? "town" : "lattice");
+  }
 }
 
 TEST(Scenario, FileMapRequiresGraphOrTraceMobility) {

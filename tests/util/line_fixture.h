@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "map/segment_index.h"
 #include "mobility/constant_velocity.h"
 #include "mobility/mobility_manager.h"
 #include "net/hello.h"
@@ -22,6 +23,10 @@ struct LineFixtureOptions {
   double speed_step = 0.0;    ///< node i moves at speed + i * speed_step
   std::uint64_t seed = 42;
   routing::ProtocolDeps deps;
+  /// When set, bound into every ProtocolContext (with a fixture-owned
+  /// SegmentIndex) so the road-geometry protocols can exercise their
+  /// GeometryMode::kRoute paths. Vehicles are NOT constrained to it.
+  std::shared_ptr<const map::RoadGraph> road_graph;
   int rsus = 0;               ///< RSUs appended after the line, y = +30
   double rsu_spacing = 160.0;
   /// When non-empty, overrides rsus/rsu_spacing with explicit positions.
@@ -87,6 +92,10 @@ class LineFixture {
     if (protocols.front()->wants_hello()) {
       hello = std::make_unique<net::HelloService>(*net, rngs_.stream("hello"));
     }
+    if (opt_.road_graph) {
+      segment_index_ =
+          std::make_unique<map::SegmentIndex>(*opt_.road_graph);
+    }
     for (net::NodeId id : net->node_ids()) {
       routing::ProtocolContext ctx;
       ctx.sim = &sim;
@@ -95,6 +104,8 @@ class LineFixture {
       ctx.rng = &rngs_.stream("proto");
       ctx.events = &events;
       ctx.self = id;
+      ctx.map = opt_.road_graph.get();
+      ctx.segments = segment_index_.get();
       protocols[id]->bind(ctx);
       net->set_receive_handler(id, [this, id](const net::Packet& p) {
         if (p.kind == net::PacketKind::kHello) {
@@ -148,6 +159,7 @@ class LineFixture {
  private:
   LineFixtureOptions opt_;
   core::RngManager rngs_;
+  std::unique_ptr<map::SegmentIndex> segment_index_;  ///< over opt_.road_graph
   bool started_ = false;
 };
 

@@ -4,9 +4,11 @@
 Usage:
     bench_compare.py BASELINE.json FRESH.json [--perf-tolerance 0.15]
 
-Runs are matched by (family, requested_vehicles, seed, sim_duration_s); a
-baseline can therefore carry both the full sweep and the CI `--smoke` row,
-and the comparison uses whatever subset the fresh file exercised.
+Runs are matched by (family, protocol, requested_vehicles, seed,
+sim_duration_s); a baseline can therefore carry both the full sweep and the
+CI `--smoke` rows, and the comparison uses whatever subset the fresh file
+exercised. The protocol is part of the key so a family whose protocol varies
+per row (map-aware) can never be compared against the wrong baseline row.
 
 Exit status 1 (regression) when any matched run:
   - disagrees on `report_digest` or `events_dispatched` — the physics moved,
@@ -30,6 +32,8 @@ import sys
 def key_of(run):
     return (
         run["family"],
+        # Older bench JSONs predate the protocol field; default matches any.
+        run.get("protocol", ""),
         run.get("requested_vehicles", run["vehicles"]),
         run["seed"],
         run["sim_duration_s"],
@@ -71,7 +75,7 @@ def main():
     failures = []
     for k in matched:
         b, f = baseline[k], fresh[k]
-        name = "{}/{} seed={} dur={}s".format(*k)
+        name = "{}[{}]/{} seed={} dur={}s".format(*k)
 
         if f["report_digest"] != b["report_digest"]:
             failures.append(
