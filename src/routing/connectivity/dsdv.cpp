@@ -1,5 +1,6 @@
 #include "routing/connectivity/dsdv.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/assert.h"
@@ -23,9 +24,16 @@ void DsdvProtocol::periodic_update() {
 void DsdvProtocol::advertise() {
   auto h = std::make_shared<DsdvHeader>();
   h->entries.reserve(table_.size());
-  for (const auto& [dst, e] : table_) {
+  for (const auto& [dst, e] : table_) {  // NOLINT-vanet(unordered-iter): sorted below
     h->entries.push_back(DsdvHeader::Entry{dst, e.metric, e.seq});
   }
+  // Advertisement content must not depend on hash-table iteration order:
+  // receivers process entries independently per dst, so sorting is
+  // behavior-neutral, but it keeps the packet bytes stdlib-independent.
+  std::sort(h->entries.begin(), h->entries.end(),
+            [](const DsdvHeader::Entry& a, const DsdvHeader::Entry& b) {
+              return a.dst < b.dst;
+            });
   net::Packet p;
   p.kind = net::PacketKind::kControl;
   p.origin = self();
@@ -99,6 +107,7 @@ void DsdvProtocol::handle_unicast_failure(const net::Packet& p) {
   // numbers mark broken routes until the destination re-advertises.
   const net::NodeId broken = p.rx;
   bool changed = false;
+  // NOLINT-vanet(unordered-iter): each entry is invalidated independently; visit order cannot escape
   for (auto& [dst, e] : table_) {
     if (dst != self() && (e.next_hop == broken || dst == broken) &&
         e.metric != kInfMetric) {

@@ -172,11 +172,19 @@ void DsrProtocol::handle_rerr(const net::Packet& p) {
   VANET_ASSERT(h != nullptr);
   purge_routes_using(h->link_from, h->link_to);
   if (p.destination == self()) {
-    for (const auto& [dst, packets] : buffer_) {
+    // Rediscover in ascending-dst order: each start_discovery enqueues an
+    // RREQ on this node's MAC FIFO, so hash-table iteration order would
+    // leak straight into the event stream.
+    std::vector<net::NodeId> stale;
+    for (const auto& [dst, packets] : buffer_) {  // NOLINT-vanet(unordered-iter): sorted below
       if (!packets.empty() && !discovery_attempts_.contains(dst)) {
-        discovery_attempts_[dst] = 0;
-        start_discovery(dst);
+        stale.push_back(dst);
       }
+    }
+    std::sort(stale.begin(), stale.end());
+    for (net::NodeId dst : stale) {
+      discovery_attempts_[dst] = 0;
+      start_discovery(dst);
     }
     return;
   }
@@ -283,6 +291,7 @@ const DsrProtocol::CachedRoute* DsrProtocol::cached_route(net::NodeId dst) const
 }
 
 void DsrProtocol::purge_routes_using(net::NodeId a, net::NodeId b) {
+  // NOLINT-vanet(unordered-iter): pure erase sweep; each entry is tested independently and visit order cannot escape
   for (auto it = cache_.begin(); it != cache_.end();) {
     const auto& path = it->second.path;
     bool uses = false;
