@@ -86,7 +86,7 @@ class LineFixture {
       if (opt_.rsus > 0) net->connect_backbone();
     }
 
-    for (net::NodeId id : net->node_ids()) {
+    for ([[maybe_unused]] net::NodeId id : net->node_ids()) {
       protocols.push_back(routing::ProtocolRegistry::make(protocol, opt_.deps));
     }
     if (protocols.front()->wants_hello()) {
