@@ -15,6 +15,7 @@ const NeighborInfo* NeighborTable::find(NodeId id) const {
 std::vector<NeighborInfo> NeighborTable::snapshot() const {
   std::vector<NeighborInfo> out;
   out.reserve(map_.size());
+  // NOLINT-vanet(unordered-iter): order cannot escape — sorted by id below
   for (const auto& [id, info] : map_) out.push_back(info);
   std::sort(out.begin(), out.end(),
             [](const NeighborInfo& a, const NeighborInfo& b) { return a.id < b.id; });
@@ -24,6 +25,7 @@ std::vector<NeighborInfo> NeighborTable::snapshot() const {
 std::vector<NodeId> NeighborTable::expire(core::SimTime now,
                                           core::SimTime expiry) {
   std::vector<NodeId> gone;
+  // NOLINT-vanet(unordered-iter): expiry test is per-entry; `gone` is sorted below, erase order cannot escape
   for (auto it = map_.begin(); it != map_.end();) {
     if (now - it->second.last_heard > expiry) {
       gone.push_back(it->first);

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Determinism linter: ban nondeterminism hazards in src/.
+
+Same seed => bit-identical run is part of every interface in this repo
+(docs/ARCHITECTURE.md, "Determinism is part of every interface"): golden
+report digests and serial==parallel aggregation both rest on it. This checker
+bans the constructs that silently break it:
+
+  raw-rand        rand()/srand() anywhere — all randomness goes through the
+                  named streams of core/rng (RngManager).
+  random-device   std::random_device outside core/rng.* — nondeterministic
+                  seeding invalidates fixed-seed reproduction.
+  wall-clock      wall-clock reads (std::chrono system/steady/high_resolution
+                  clocks, time(), clock(), gettimeofday, clock_gettime)
+                  outside core/rng.* — sim logic must use SimTime only.
+  unordered-iter  iteration (range-for or .begin()) over a container declared
+                  as std::unordered_map/set/multimap/multiset — iteration
+                  order is stdlib-specific, so anything it feeds (packet
+                  contents, event ordering, digests) becomes implementation-
+                  defined. Sort the output or iterate a deterministic index.
+  ptr-key         std::map/set keyed on a pointer type — ordering follows the
+                  allocator, which varies run to run.
+
+Detection is line-based and heuristic (multi-line declarations can escape the
+unordered-iter net); it is a ratchet, not a proof. Escape hatch (reason
+mandatory, validated, grep-able — see tools/vanet_lint.py):
+
+    for (const auto& [id, info] : map_) {  // NOLINT-vanet(unordered-iter): sorted below
+
+Usage:
+    python3 tools/check_determinism.py [--root DIR ...]
+
+Default roots are every C++ tree in the repo (src bench examples tools
+tests): benches and the CLI feed report digests just like the library, so
+they obey the same rules.
+
+Exit status 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import vanet_lint  # noqa: E402
+
+_SOURCE_EXTS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+
+# Files allowed to touch entropy / wall-clock sources: the RNG subsystem
+# itself (seeding policy lives there, nowhere else).
+_RNG_EXEMPT_RE = re.compile(r"(^|/)core/rng\.(h|hpp|cpp|cc|cxx)$")
+
+_PATTERN_RULES = [
+    ("raw-rand",
+     re.compile(r"(?<![\w.:>])s?rand\s*\("),
+     "use a named core/rng stream (RngManager), never the C PRNG"),
+    ("random-device",
+     re.compile(r"\brandom_device\b"),
+     "nondeterministic seeding breaks fixed-seed reproduction; "
+     "seed through core/rng"),
+    ("wall-clock",
+     re.compile(r"std::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)\b"),
+     "sim logic must be driven by SimTime, not wall-clock reads"),
+    ("wall-clock",
+     re.compile(r"(?:(?<!\w)::|std::)time\s*\(|"
+                r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)|"
+                r"\bgettimeofday\b|\bclock_gettime\b|std::clock\b|"
+                r"(?<!\w)::clock\s*\("),
+     "sim logic must be driven by SimTime, not wall-clock reads"),
+    ("ptr-key",
+     re.compile(r"std::(?:map|set|multimap|multiset)\s*<\s*"
+                r"(?:const\s+)?[\w:]+\s*\*"),
+     "pointer keys order by address, which varies run to run; "
+     "key on a stable id instead"),
+]
+
+_UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;={(]")
+_UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*[^;]*\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def _unordered_names(text):
+    """Names of variables/members declared with an unordered container type
+    (or with a `using` alias of one) anywhere in `text`."""
+    names = set()
+    aliases = set()
+    for m in _UNORDERED_ALIAS_RE.finditer(text):
+        aliases.add(m.group(1))
+    for m in _UNORDERED_DECL_RE.finditer(text):
+        names.add(m.group(1))
+    for alias in aliases:
+        for m in re.finditer(
+                r"\b" + re.escape(alias) + r"\s+(\w+)\s*[;={(]", text):
+            names.add(m.group(1))
+    return names
+
+
+def _sibling_text(path):
+    """Contents of the .h/.cpp sibling (members declared in the header are
+    iterated in the .cpp and vice versa)."""
+    stem, ext = os.path.splitext(path)
+    siblings = {".h": (".cpp", ".cc"), ".hpp": (".cpp", ".cc"),
+                ".cpp": (".h", ".hpp"), ".cc": (".h", ".hpp")}
+    out = []
+    for sib_ext in siblings.get(ext, ()):
+        sib = stem + sib_ext
+        if os.path.isfile(sib):
+            with open(sib, encoding="utf-8") as f:
+                out.append(f.read())
+    return "\n".join(out)
+
+
+def check_file(path, rel_path=None, text=None, sibling_text=None):
+    if text is None:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    if sibling_text is None:
+        sibling_text = _sibling_text(path)
+    rel = (rel_path or path).replace(os.sep, "/")
+    lines = text.splitlines()
+    suppressions = vanet_lint.parse_suppressions(lines)
+    owned = {"raw-rand", "random-device", "wall-clock",
+             "unordered-iter", "ptr-key"}
+    violations = vanet_lint.audit_suppressions(path, suppressions, owned)
+
+    rng_exempt = bool(_RNG_EXEMPT_RE.search(rel))
+
+    unordered = _unordered_names(text) | _unordered_names(sibling_text)
+    iter_res = []
+    for n in sorted(unordered):
+        esc = re.escape(n)
+        # Range-for over the container (possibly through a member access),
+        # and explicit iterator loops anchored at .begin()/.cbegin().
+        iter_res.append(re.compile(
+            r"for\s*\([^;{}()]*:\s*[^;{})]*\b" + esc + r"\s*\)"))
+        iter_res.append(re.compile(
+            r"\b" + esc + r"\s*\.\s*c?begin\s*\("))
+
+    for lineno, raw in enumerate(lines, start=1):
+        code = vanet_lint.strip_comments_and_strings(raw)
+        if not code.strip():
+            continue
+        for rule, pattern, advice in _PATTERN_RULES:
+            if rule in ("random-device", "wall-clock") and rng_exempt:
+                continue
+            if pattern.search(code):
+                if vanet_lint.suppression_for(suppressions, lineno, rule):
+                    continue
+                violations.append(vanet_lint.Violation(
+                    path, lineno, rule, advice))
+        for pattern in iter_res:
+            if pattern.search(code):
+                if vanet_lint.suppression_for(
+                        suppressions, lineno, "unordered-iter"):
+                    break
+                violations.append(vanet_lint.Violation(
+                    path, lineno, "unordered-iter",
+                    "iteration order of an unordered container is "
+                    "stdlib-specific; sort the result or iterate a "
+                    "deterministic index"))
+                break
+    return violations
+
+
+def scan_tree(root):
+    violations = []
+    files = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(_SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, name)
+            files += 1
+            violations.extend(
+                check_file(path, rel_path=os.path.relpath(path, root)))
+    return violations, files
+
+
+_DEFAULT_ROOTS = ["src", "bench", "examples", "tools", "tests"]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", action="append", dest="roots", default=None,
+                    help="tree(s) to scan (repeatable; default: "
+                         f"{' '.join(_DEFAULT_ROOTS)})")
+    args = ap.parse_args(argv)
+
+    roots = args.roots if args.roots else _DEFAULT_ROOTS
+    for root in roots:
+        if not os.path.isdir(root):
+            print(f"check_determinism: no such directory: {root}",
+                  file=sys.stderr)
+            return 2
+
+    violations, files = [], 0
+    for root in roots:
+        v, f = scan_tree(root)
+        violations.extend(v)
+        files += f
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"check_determinism: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_determinism: OK ({files} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Layering linter: every `#include "..."` edge in src/ must follow the DAG.
+
+docs/ARCHITECTURE.md declares that layers only depend downward. This checker
+makes the rule machine-checked: it parses the quoted-include edges of every
+translation unit under src/ and fails on any edge the dependency DAG below
+does not allow. The DAG (also drawn in ARCHITECTURE.md, "Layer map"):
+
+    core  <-  analysis, map  <-  mobility  <-  net  <-  routing  <-  sim
+
+`analysis` and `map` are parallel leaf libraries directly above core;
+everything higher may use either. A file's layer is its first path component
+under src/ (src/ directory == namespace).
+
+Escape hatch (reason mandatory, see tools/vanet_lint.py):
+
+    #include "sim/whatever.h"  // NOLINT-vanet(layering): <why this edge>
+
+Usage:
+    python3 tools/check_layering.py [--root src] [--list-edges]
+
+Exit status 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import vanet_lint  # noqa: E402
+
+# layer -> layers it may include from (itself always allowed). This is the
+# transitive downward closure of the ARCHITECTURE.md layer map; edit BOTH
+# together when the architecture changes.
+ALLOWED_DEPS = {
+    "core": set(),
+    "analysis": {"core"},
+    "map": {"core"},
+    "mobility": {"core", "analysis", "map"},
+    "net": {"core", "analysis", "map", "mobility"},
+    "routing": {"core", "analysis", "map", "mobility", "net"},
+    "sim": {"core", "analysis", "map", "mobility", "net", "routing"},
+}
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+_SOURCE_EXTS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+
+
+def check_file(path, rel_layer, text=None):
+    """Violations for one file whose layer is `rel_layer`."""
+    if text is None:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    lines = text.splitlines()
+    suppressions = vanet_lint.parse_suppressions(lines)
+    violations = vanet_lint.audit_suppressions(
+        path, suppressions, owned_rules={"layering"}, report_unknown=True)
+
+    if rel_layer not in ALLOWED_DEPS:
+        violations.append(vanet_lint.Violation(
+            path, 1, "layering",
+            f"file sits in unknown layer '{rel_layer}' — add it to "
+            "ALLOWED_DEPS in tools/check_layering.py and to the "
+            "ARCHITECTURE.md layer map"))
+        return violations
+
+    allowed = ALLOWED_DEPS[rel_layer] | {rel_layer}
+    for lineno, line in enumerate(lines, start=1):
+        m = _INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target_layer = m.group(1).split("/")[0]
+        if "/" not in m.group(1):
+            # A bare quoted include ("foo.h") resolves within the same
+            # directory — always the file's own layer.
+            continue
+        if target_layer in allowed:
+            continue
+        if vanet_lint.suppression_for(suppressions, lineno, "layering"):
+            continue
+        known = target_layer in ALLOWED_DEPS
+        detail = (
+            f"layer '{rel_layer}' may only include from "
+            f"{{{', '.join(sorted(allowed))}}}" if known else
+            f"include target '{m.group(1)}' is outside the known layers")
+        violations.append(vanet_lint.Violation(
+            path, lineno, "layering",
+            f"'{rel_layer}' -> '{target_layer}' violates the dependency DAG "
+            f"({detail})"))
+    return violations
+
+
+def scan_tree(root):
+    violations = []
+    edges = set()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(_SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            parts = rel.split(os.sep)
+            if len(parts) < 2:
+                # Files directly under root have no layer; nothing to check.
+                continue
+            layer = parts[0]
+            violations.extend(check_file(path, layer))
+            with open(path, encoding="utf-8") as f:
+                for line in f:
+                    m = _INCLUDE_RE.match(line)
+                    if m and "/" in m.group(1):
+                        tgt = m.group(1).split("/")[0]
+                        if tgt != layer:
+                            edges.add((layer, tgt))
+    return violations, edges
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default="src", help="tree to scan (default: src)")
+    ap.add_argument("--list-edges", action="store_true",
+                    help="print the observed cross-layer include edges")
+    args = ap.parse_args(argv)
+
+    if not os.path.isdir(args.root):
+        print(f"check_layering: no such directory: {args.root}", file=sys.stderr)
+        return 2
+
+    violations, edges = scan_tree(args.root)
+    if args.list_edges:
+        for src_layer, dst_layer in sorted(edges):
+            print(f"{src_layer} -> {dst_layer}")
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"check_layering: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"check_layering: OK ({len(edges)} cross-layer edges conform to the DAG)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

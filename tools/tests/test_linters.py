@@ -1,0 +1,267 @@
+"""Self-tests for the custom linters (check_layering / check_determinism).
+
+Each test builds a small fixture tree (or fixture file) that must pass or
+fail the checker, so the linters themselves are regression-guarded. Runs
+under the stdlib runner (no pytest dependency in the container/CI image):
+
+    python3 -m unittest discover -s tools/tests -v
+
+and is also collectable by pytest where available.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir))
+import check_determinism  # noqa: E402
+import check_layering  # noqa: E402
+import vanet_lint  # noqa: E402
+
+
+def write_tree(root, files):
+    for rel, text in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+class LayeringTest(unittest.TestCase):
+    def scan(self, files):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, files)
+            violations, _ = check_layering.scan_tree(root)
+            return violations
+
+    def test_downward_edges_pass(self):
+        violations = self.scan({
+            "core/vec2.h": "#pragma once\n",
+            "map/graph.h": '#include "core/vec2.h"\n',
+            "mobility/model.h": '#include "map/graph.h"\n'
+                                '#include "core/vec2.h"\n',
+            "net/net.h": '#include "mobility/model.h"\n'
+                         '#include "analysis/stats.h"\n',
+            "routing/proto.h": '#include "net/net.h"\n',
+            "sim/scenario.h": '#include "routing/proto.h"\n',
+            "analysis/stats.h": '#include "core/vec2.h"\n',
+        })
+        self.assertEqual(violations, [])
+
+    def test_upward_edge_fails_with_rule_name(self):
+        violations = self.scan({
+            "mobility/model.h": '#include "routing/proto.h"\n',
+        })
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].rule, "layering")
+        self.assertEqual(violations[0].line, 1)
+        self.assertIn("'mobility' -> 'routing'", violations[0].message)
+
+    def test_core_must_not_include_anything(self):
+        violations = self.scan({
+            "core/simulator.h": '#include "analysis/stats.h"\n',
+        })
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].rule, "layering")
+
+    def test_same_layer_and_bare_includes_pass(self):
+        violations = self.scan({
+            "net/a.h": '#include "net/b.h"\n#include "b.h"\n',
+            "net/b.h": "#pragma once\n",
+        })
+        self.assertEqual(violations, [])
+
+    def test_unknown_layer_fails(self):
+        violations = self.scan({"plugins/x.h": "#pragma once\n"})
+        self.assertEqual(len(violations), 1)
+        self.assertIn("unknown layer 'plugins'", violations[0].message)
+
+    def test_suppression_with_reason_passes(self):
+        violations = self.scan({
+            "mobility/model.h":
+                '#include "routing/proto.h"  '
+                '// NOLINT-vanet(layering): transitional, tracked in #42\n',
+        })
+        self.assertEqual(violations, [])
+
+    def test_suppression_on_previous_line_passes(self):
+        violations = self.scan({
+            "mobility/model.h":
+                '// NOLINT-vanet(layering): transitional, tracked in #42\n'
+                '#include "routing/proto.h"\n',
+        })
+        self.assertEqual(violations, [])
+
+    def test_suppression_without_reason_fails(self):
+        violations = self.scan({
+            "mobility/model.h":
+                '#include "routing/proto.h"  // NOLINT-vanet(layering)\n',
+        })
+        self.assertEqual(len(violations), 1)
+        self.assertIn("missing its ': <reason>'", violations[0].message)
+
+    def test_unknown_rule_in_suppression_fails(self):
+        violations = self.scan({
+            "core/x.h": "// NOLINT-vanet(laering): typo'd rule\nint x;\n",
+        })
+        self.assertEqual(len(violations), 1)
+        self.assertIn("unknown rule 'laering'", violations[0].message)
+
+    def test_wrong_rule_does_not_suppress(self):
+        violations = self.scan({
+            "mobility/model.h":
+                '#include "routing/proto.h"  '
+                '// NOLINT-vanet(unordered-iter): wrong rule for this site\n',
+        })
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0].rule, "layering")
+
+
+class DeterminismTest(unittest.TestCase):
+    def check(self, text, rel_path="sim/x.cpp", sibling_text=""):
+        with tempfile.TemporaryDirectory() as root:
+            path = os.path.join(root, rel_path)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            return check_determinism.check_file(
+                path, rel_path=rel_path, sibling_text=sibling_text)
+
+    def rules(self, violations):
+        return sorted(v.rule for v in violations)
+
+    def test_clean_file_passes(self):
+        self.assertEqual(self.check(
+            "int run(core::Rng& rng) { return rng.uniform_int(0, 5); }\n"), [])
+
+    def test_rand_fails(self):
+        self.assertEqual(self.rules(self.check(
+            "int x = rand() % 6;\n")), ["raw-rand"])
+        self.assertEqual(self.rules(self.check(
+            "void seed() { srand(42); }\n")), ["raw-rand"])
+
+    def test_rand_as_member_or_substring_passes(self):
+        self.assertEqual(self.check("int y = rng.rand();\n"), [])
+        self.assertEqual(self.check("auto s = strand(7);\n"), [])
+
+    def test_random_device_fails_outside_core_rng(self):
+        self.assertEqual(self.rules(self.check(
+            "std::random_device rd;\n")), ["random-device"])
+
+    def test_random_device_allowed_in_core_rng(self):
+        self.assertEqual(self.check(
+            "std::random_device rd;\n", rel_path="core/rng.cpp"), [])
+
+    def test_wall_clock_fails(self):
+        self.assertEqual(self.rules(self.check(
+            "auto t = std::chrono::steady_clock::now();\n")), ["wall-clock"])
+        self.assertEqual(self.rules(self.check(
+            "auto t = std::time(nullptr);\n")), ["wall-clock"])
+        self.assertEqual(self.rules(self.check(
+            "long t = time(NULL);\n")), ["wall-clock"])
+
+    def test_sim_time_accessor_named_clock_passes(self):
+        # A member *named* clock (e.g. trace.h's trace clock accessor) is not
+        # a wall-clock read.
+        self.assertEqual(self.check("double clock() const { return c_; }\n"), [])
+        self.assertEqual(self.check("double t = sample.clock();\n"), [])
+
+    def test_unordered_range_for_fails(self):
+        text = ("std::unordered_map<int, int> table_;\n"
+                "void f() { for (const auto& [k, v] : table_) use(k, v); }\n")
+        self.assertEqual(self.rules(self.check(text)), ["unordered-iter"])
+
+    def test_unordered_begin_loop_fails(self):
+        text = ("std::unordered_set<long> seen_;\n"
+                "void f() { for (auto it = seen_.begin(); it != seen_.end();)"
+                " it = seen_.erase(it); }\n")
+        self.assertEqual(self.rules(self.check(text)), ["unordered-iter"])
+
+    def test_unordered_lookup_passes(self):
+        text = ("std::unordered_map<int, int> table_;\n"
+                "int g(int k) { auto it = table_.find(k); "
+                "return it == table_.end() ? 0 : it->second; }\n")
+        self.assertEqual(self.check(text), [])
+
+    def test_member_declared_in_sibling_header_fails(self):
+        sibling = "std::unordered_map<int, int> table_;\n"
+        text = "void f() { for (const auto& [k, v] : table_) use(k, v); }\n"
+        self.assertEqual(
+            self.rules(self.check(text, sibling_text=sibling)),
+            ["unordered-iter"])
+
+    def test_alias_typed_unordered_fails(self):
+        text = ("using FerrySet = std::unordered_set<int>;\n"
+                "FerrySet ferries_;\n"
+                "void f() { for (int id : ferries_) use(id); }\n")
+        self.assertEqual(self.rules(self.check(text)), ["unordered-iter"])
+
+    def test_ordered_map_iteration_passes(self):
+        text = ("std::map<int, int> table_;\n"
+                "void f() { for (const auto& [k, v] : table_) use(k, v); }\n")
+        self.assertEqual(self.check(text), [])
+
+    def test_pointer_keyed_map_fails(self):
+        self.assertEqual(self.rules(self.check(
+            "std::map<Node*, int> rank_;\n")), ["ptr-key"])
+        self.assertEqual(self.rules(self.check(
+            "std::set<const Segment*> dirty_;\n")), ["ptr-key"])
+
+    def test_id_keyed_map_passes(self):
+        self.assertEqual(self.check("std::map<std::int32_t, int> rank_;\n"), [])
+
+    def test_suppression_with_reason_passes(self):
+        text = ("std::unordered_map<int, int> table_;\n"
+                "// NOLINT-vanet(unordered-iter): sorted below\n"
+                "void f() { for (const auto& [k, v] : table_) out.push_back(v); }\n")
+        self.assertEqual(self.check(text), [])
+
+    def test_suppression_without_reason_fails(self):
+        text = ("std::unordered_map<int, int> table_;\n"
+                "void f() { for (const auto& [k, v] : table_) use(v); }"
+                "  // NOLINT-vanet(unordered-iter)\n")
+        violations = self.check(text)
+        self.assertEqual(len(violations), 1)
+        self.assertIn("missing its ': <reason>'", violations[0].message)
+
+    def test_hazard_in_comment_or_string_passes(self):
+        self.assertEqual(self.check("// never call rand() here\n"), [])
+        self.assertEqual(self.check(
+            'const char* kMsg = "rand() is banned";\n'), [])
+
+    def test_repo_tree_is_clean(self):
+        # The committed tree must stay lint-clean — this is the same gate CI
+        # runs, kept here so `unittest discover` alone catches regressions.
+        repo = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, os.pardir)
+        total_files = 0
+        for root in check_determinism._DEFAULT_ROOTS:
+            violations, files = check_determinism.scan_tree(
+                os.path.join(repo, root))
+            self.assertEqual(violations, [], root)
+            total_files += files
+        self.assertGreater(total_files, 150)
+        violations, edges = check_layering.scan_tree(os.path.join(repo, "src"))
+        self.assertEqual(violations, [])
+        self.assertGreater(len(edges), 10)
+
+
+class SuppressionParsingTest(unittest.TestCase):
+    def test_multi_rule_suppression(self):
+        sup = vanet_lint.parse_suppressions(
+            ["x;  // NOLINT-vanet(wall-clock,unordered-iter): bench-only path"])
+        self.assertEqual(sup[1].rules, ("wall-clock", "unordered-iter"))
+        self.assertEqual(sup[1].reason, "bench-only path")
+
+    def test_suppression_for_scans_line_and_previous(self):
+        sup = vanet_lint.parse_suppressions(
+            ["// NOLINT-vanet(ptr-key): fixture", "std::map<int*, int> m;"])
+        self.assertIsNotNone(vanet_lint.suppression_for(sup, 2, "ptr-key"))
+        self.assertIsNone(vanet_lint.suppression_for(sup, 3, "ptr-key"))
+        self.assertIsNone(vanet_lint.suppression_for(sup, 2, "layering"))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,108 @@
+"""Shared plumbing for the repo's custom linters.
+
+Both checkers (`check_layering.py`, `check_determinism.py`) report violations
+as `path:line: [rule] message` and honour one escape hatch:
+
+    // NOLINT-vanet(<rule>[,<rule>...]): <reason>
+
+placed on the offending line or on the line directly above it. The reason is
+mandatory — a suppression without a written justification is itself a
+violation, as is a suppression naming a rule no checker owns (catches typos).
+The syntax is grep-able: `grep -rn 'NOLINT-vanet' src/` lists every opt-out
+with its reason.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Every rule any vanet linter may emit or suppress. Checkers validate
+# suppressions against this registry so a typo'd rule name fails loudly
+# instead of silently not suppressing (or silently suppressing nothing).
+KNOWN_RULES = {
+    "layering",        # check_layering: #include edge violates the layer DAG
+    "raw-rand",        # check_determinism: rand()/srand() anywhere in src/
+    "random-device",   # check_determinism: std::random_device outside core/rng
+    "wall-clock",      # check_determinism: wall-clock reads (chrono clocks, time())
+    "unordered-iter",  # check_determinism: iteration over unordered containers
+    "ptr-key",         # check_determinism: pointer-keyed ordered container
+}
+
+_SUPPRESS_RE = re.compile(
+    r"//\s*NOLINT-vanet\(([^)]*)\)\s*(?::\s*(.*?))?\s*$"
+)
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    rules: tuple
+    reason: str
+    line: int  # 1-based line the comment sits on
+
+
+def parse_suppressions(lines):
+    """Map line number -> Suppression for every NOLINT-vanet comment."""
+    out = {}
+    for i, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+            reason = (m.group(2) or "").strip()
+            out[i] = Suppression(rules=rules, reason=reason, line=i)
+    return out
+
+
+def suppression_for(suppressions, line, rule):
+    """The suppression covering `rule` at `line` (same line or line above)."""
+    for cand_line in (line, line - 1):
+        s = suppressions.get(cand_line)
+        if s and rule in s.rules:
+            return s
+    return None
+
+
+def audit_suppressions(path, suppressions, owned_rules, report_unknown=False):
+    """Structural violations in the suppression comments themselves.
+
+    Always: an empty reason on a rule this checker owns. With
+    `report_unknown` (exactly one checker sets it, so CI prints each typo
+    once): a rule not present in KNOWN_RULES.
+    """
+    violations = []
+    for s in suppressions.values():
+        for rule in s.rules:
+            if rule in owned_rules and not s.reason:
+                violations.append(Violation(
+                    path, s.line, rule,
+                    "NOLINT-vanet suppression is missing its ': <reason>'"))
+            if report_unknown and rule not in KNOWN_RULES:
+                violations.append(Violation(
+                    path, s.line, rule,
+                    f"NOLINT-vanet names unknown rule '{rule}' "
+                    f"(known: {', '.join(sorted(KNOWN_RULES))})"))
+    return violations
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string literals from one line.
+
+    Keeps the linters from matching hazards inside comments or log strings.
+    Block comments spanning lines are not handled; both linters operate on
+    code where that has not been an issue, and a miss fails safe (it flags,
+    and the author writes a NOLINT or rewords the comment).
+    """
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
