@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""clang-tidy driver over compile_commands.json.
+
+Runs the repo's curated .clang-tidy profile (warnings are errors there) over
+every first-party translation unit in the compilation database and fails on
+any diagnostic. CI calls this in the lint job; locally:
+
+    cmake -B build -S .             # CMAKE_EXPORT_COMPILE_COMMANDS is on
+    python3 tools/run_tidy.py --build-dir build [--jobs N] [--fix] [paths...]
+
+Positional `paths` filter the database (substring match against the source
+path) so one file or one layer can be re-linted quickly, e.g.:
+
+    python3 tools/run_tidy.py --build-dir build src/net/
+
+Third-party and generated code never enters the run: only sources under
+src/, tools/, bench/ and examples/ (tests/ ride on the same library but
+gtest macros trip several checks; the suite is covered by the compiler
+warning floor and the sanitizer legs instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+_FIRST_PARTY = ("src/", "tools/", "bench/", "examples/")
+
+
+def load_database(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.exit(f"run_tidy: {db_path} not found — configure with "
+                 "cmake -B build -S . first (CMAKE_EXPORT_COMPILE_COMMANDS "
+                 "is on by default in this repo)")
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_sources(database, repo_root, filters):
+    sources = []
+    for entry in database:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, repo_root)
+        if rel.startswith(".."):
+            continue
+        if not rel.replace(os.sep, "/").startswith(_FIRST_PARTY):
+            continue
+        if filters and not any(f in rel for f in filters):
+            continue
+        sources.append(path)
+    return sorted(set(sources))
+
+
+def run_one(args):
+    tidy, build_dir, extra, path = args
+    cmd = [tidy, "-p", build_dir, "--quiet", *extra, path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits nonzero when WarningsAsErrors fires; stderr carries
+    # "N warnings treated as errors" noise, stdout the diagnostics.
+    return path, proc.returncode, proc.stdout.strip()
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="substring filters on source paths (default: all)")
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--clang-tidy", default=os.environ.get(
+        "CLANG_TIDY", "clang-tidy"), help="clang-tidy binary to use")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count()))
+    ap.add_argument("--fix", action="store_true",
+                    help="apply clang-tidy's suggested fixes in place")
+    args = ap.parse_args(argv)
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"run_tidy: '{args.clang_tidy}' not on PATH "
+                 "(set --clang-tidy or $CLANG_TIDY)")
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    database = load_database(args.build_dir)
+    sources = select_sources(database, repo_root, args.paths)
+    if not sources:
+        sys.exit("run_tidy: no first-party sources matched")
+
+    extra = ["--fix"] if args.fix else []
+    jobs = [(args.clang_tidy, args.build_dir, extra, s) for s in sources]
+    failures = 0
+    # --fix must not run concurrently: two TUs touching one header would
+    # race on the rewrite.
+    pool_size = 1 if args.fix else args.jobs
+    with multiprocessing.Pool(pool_size) as pool:
+        for path, rc, output in pool.imap_unordered(run_one, jobs):
+            rel = os.path.relpath(path, repo_root)
+            if rc != 0:
+                failures += 1
+                print(f"== {rel}")
+                if output:
+                    print(output)
+            else:
+                print(f"ok {rel}")
+    print(f"run_tidy: {len(sources)} translation units, "
+          f"{failures} with diagnostics")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
