@@ -178,6 +178,11 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
   if (workers <= 1) {
     for (std::size_t job = 0; job < n_runs; ++job) execute(job);
   } else {
+    // The whole multi-threaded surface of the repo (see the threading
+    // contract in experiment.h; TSan-covered by test_engine_concurrency.cpp
+    // and the CI tsan job): each job index is claimed exactly once via
+    // `next`, each worker writes only its claimed reports[job] slots, and
+    // nothing below runs until every worker has joined.
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));

@@ -62,6 +62,14 @@ struct ExperimentResult {
   std::vector<AggregateRecord> cells;  ///< matrix order
 };
 
+/// Threading contract (ThreadSanitizer-enforced — the CI tsan job runs the
+/// suite, a --jobs 4 sweep and the bench smoke row under -DVANET_TSAN=ON):
+/// workers claim jobs from one atomic counter and write results into
+/// disjoint per-job slots; no Scenario state is shared across threads; a
+/// worker's exception is captured and rethrown on the calling thread after
+/// all workers join; sinks are only ever written by the calling thread,
+/// after the join, in matrix order. Keep any new shared state inside this
+/// design (or extend the tsan job's workloads to cover it).
 class ExperimentEngine {
  public:
   /// `jobs` worker threads; <= 0 means hardware concurrency.
