@@ -264,6 +264,17 @@ void append_json_run(std::string& out, const std::string& family, int vehicles,
      << "      \"sched_peak_pending\": " << run.sched_peak_pending << ",\n"
      << "      \"sched_allocs_per_event\": " << run.sched_allocs_per_event()
      << ",\n"
+     << "      \"lifetime_memo_hits\": " << run.lifetime_memo_hits << ",\n"
+     << "      \"lifetime_memo_misses\": " << run.lifetime_memo_misses << ",\n"
+     << "      \"lifetime_memo_hit_rate\": " << run.lifetime_memo_hit_rate()
+     << ",\n"
+     << "      \"seg_snapshot_queries\": " << run.seg_snapshot_queries << ",\n"
+     << "      \"seg_snapshot_hits\": " << run.seg_snapshot_hits << ",\n"
+     << "      \"seg_snapshot_proven\": " << run.seg_snapshot_proven << ",\n"
+     << "      \"seg_snapshot_index_queries\": "
+     << run.seg_snapshot_index_queries << ",\n"
+     << "      \"seg_snapshot_hit_rate\": " << run.seg_snapshot_hit_rate()
+     << ",\n"
      << "      \"frames_sent\": "
      << (run.report.data_frames + run.report.control_frames +
          run.report.hello_frames)

@@ -7,8 +7,6 @@
 
 namespace vanet::analysis {
 
-double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
-
 double path_loss_db(double d, const LogNormalParams& p) {
   const double dist = std::max(d, p.ref_distance_m);
   return p.ref_loss_db +

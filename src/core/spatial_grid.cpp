@@ -20,16 +20,27 @@ void SpatialGrid::insert(Id id, Vec2 pos) {
   if (id >= slots_.size()) slots_.resize(id + 1);
   VANET_ASSERT_MSG(!slots_[id].present, "duplicate insert");
   const CellKey key = key_for(pos);
-  slots_[id] = Slot{pos, key, true};
-  cells_[key].push_back(id);
+  Bucket& bucket = cells_[key];
+  bucket.push_back(Item{id, pos});
+  slots_[id] = Slot{&bucket, static_cast<std::uint32_t>(bucket.size() - 1),
+                    key, true};
   ++count_;
+}
+
+void SpatialGrid::detach(Id id) {
+  Slot& slot = slots_[id];
+  Bucket& bucket = *slot.bucket;
+  const std::uint32_t idx = slot.idx;
+  bucket[idx] = bucket.back();
+  slots_[bucket[idx].id].idx = idx;
+  bucket.pop_back();
 }
 
 void SpatialGrid::remove(Id id) {
   VANET_ASSERT_MSG(contains(id), "remove of unknown id");
-  auto& bucket = cells_[slots_[id].cell];
-  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  detach(id);
   slots_[id].present = false;
+  slots_[id].bucket = nullptr;
   --count_;
 }
 
@@ -37,18 +48,22 @@ void SpatialGrid::update(Id id, Vec2 pos) {
   VANET_ASSERT_MSG(contains(id), "update of unknown id");
   Slot& slot = slots_[id];
   const CellKey new_key = key_for(pos);
-  if (slot.cell != new_key) {
-    auto& bucket = cells_[slot.cell];
-    bucket.erase(std::find(bucket.begin(), bucket.end(), id));
-    cells_[new_key].push_back(id);
-    slot.cell = new_key;
+  if (slot.cell == new_key) {
+    (*slot.bucket)[slot.idx].pos = pos;
+    return;
   }
-  slot.pos = pos;
+  detach(id);
+  Bucket& bucket = cells_[new_key];
+  bucket.push_back(Item{id, pos});
+  slot.bucket = &bucket;
+  slot.idx = static_cast<std::uint32_t>(bucket.size() - 1);
+  slot.cell = new_key;
 }
 
 Vec2 SpatialGrid::position(Id id) const {
   VANET_ASSERT_MSG(contains(id), "position of unknown id");
-  return slots_[id].pos;
+  const Slot& slot = slots_[id];
+  return (*slot.bucket)[slot.idx].pos;
 }
 
 void SpatialGrid::query_radius_into(Vec2 center, double radius, Id exclude,
@@ -63,12 +78,14 @@ void SpatialGrid::query_radius_into(Vec2 center, double radius, Id exclude,
     for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
       auto it = cells_.find(grid_cell_key(cx, cy));
       if (it == cells_.end()) continue;
-      for (Id id : it->second) {
-        if (id == exclude) continue;
-        if ((slots_[id].pos - center).norm_sq() < r2) out.push_back(id);
+      for (const Item& item : it->second) {
+        if (item.id == exclude) continue;
+        if ((item.pos - center).norm_sq() < r2) out.push_back(item.id);
       }
     }
   }
+  // Bucket order is swap-erase history; the sort restores the deterministic
+  // id order every caller iterates in.
   std::sort(out.begin(), out.end());
 }
 

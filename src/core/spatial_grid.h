@@ -5,9 +5,16 @@
 // O(points in the 3x3 neighborhood) instead of O(N).
 //
 // Point records live in a dense vector indexed by id (ids are expected to be
-// small and dense — node ids are), with the current cell key cached per
-// point: the per-tick update() re-bucketing touches the hash map only when a
-// point actually crosses a cell boundary, and position reads never hash.
+// small and dense — node ids are). Each slot keeps a direct pointer to its
+// bucket plus its index inside it, so the per-tick update() never hashes
+// unless the point crosses a cell boundary, and positions are stored inline
+// in the buckets: the query's candidate scan reads (id, pos) pairs
+// sequentially instead of chasing a random slot load per candidate — those
+// cache misses were the hottest line of dense reception fan-out.
+//
+// The bucket back-pointers make the grid self-referential, so it is
+// deliberately non-copyable and non-movable (its one owner, net::Network,
+// holds it by value and never moves it).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,9 @@ class SpatialGrid {
 
   /// `cell_size` should be on the order of the most common query radius.
   explicit SpatialGrid(double cell_size);
+
+  SpatialGrid(const SpatialGrid&) = delete;
+  SpatialGrid& operator=(const SpatialGrid&) = delete;
 
   /// Insert `id` at `pos`; `id` must not already be present.
   void insert(Id id, Vec2 pos);
@@ -54,16 +64,26 @@ class SpatialGrid {
 
  private:
   using CellKey = std::int64_t;
-  struct Slot {
+  /// Bucket element: position inline so queries scan sequentially.
+  struct Item {
+    Id id = 0;
     Vec2 pos;
+  };
+  using Bucket = std::vector<Item>;
+  struct Slot {
+    Bucket* bucket = nullptr;  ///< stable: map references survive rehash
+    std::uint32_t idx = 0;     ///< index of this point's Item in *bucket
     CellKey cell = 0;
     bool present = false;
   };
 
   CellKey key_for(Vec2 pos) const;
+  /// Swap-erase slot `id`'s Item out of its bucket, fixing the moved Item's
+  /// back-index.
+  void detach(Id id);
 
   double cell_size_;
-  std::unordered_map<CellKey, std::vector<Id>> cells_;
+  std::unordered_map<CellKey, Bucket> cells_;
   std::vector<Slot> slots_;  ///< indexed by id
   std::size_t count_ = 0;
 };

@@ -21,6 +21,13 @@
 // queries inherit the lowest-id tie-breaks of RoadGraph/SegmentIndex, and the
 // corridor holds only segment ids — two builds from equal inputs are
 // bit-identical. The corridor references the graph and must not outlive it.
+//
+// Admission cost: `contains` is the per-RREQ hot call of the route-geometry
+// protocols (one test per received flood copy). It short-circuits through a
+// corridor-level bounding box and per-segment boxes before any exact
+// point-to-segment distance, with conservative slack so the boolean answer
+// is exactly `distance_to(pos) <= half_width` — the same contract
+// `distance_to` (kept exact, no prefilter) verifies in the property tests.
 #pragma once
 
 #include <vector>
@@ -41,6 +48,15 @@ class RouteCorridor {
   static RouteCorridor between(const RoadGraph& graph, const SegmentIndex& index,
                                core::Vec2 src, core::Vec2 dst);
 
+  /// Same corridor, with the endpoint segments already resolved by the
+  /// caller (a SegmentSnapshot hit or a segment id stamped into a packet
+  /// header). A negative id falls back to the index query; a non-negative id
+  /// MUST equal index.nearest_segment of the matching position, so both
+  /// overloads build bit-identical corridors.
+  static RouteCorridor between(const RoadGraph& graph, const SegmentIndex& index,
+                               core::Vec2 src, core::Vec2 dst, int src_seg,
+                               int dst_seg);
+
   /// Where a position enters the graph: the endpoint of `segment` closer to
   /// `pos` (lower intersection id on exact ties). Cheap — two distance
   /// computations — which is what lets CorridorCache detect endpoint
@@ -57,13 +73,12 @@ class RouteCorridor {
   const std::vector<int>& segments() const { return segments_; }
 
   /// Distance from `pos` to the nearest corridor segment; infinity when the
-  /// corridor is empty.
+  /// corridor is empty. Always exact — no prefilter.
   double distance_to(core::Vec2 pos) const;
 
-  /// distance_to(pos) <= half_width.
-  bool contains(core::Vec2 pos, double half_width) const {
-    return distance_to(pos) <= half_width;
-  }
+  /// Exactly distance_to(pos) <= half_width, but served through bounding-box
+  /// pre-rejects and an early-exit scan (see header comment).
+  bool contains(core::Vec2 pos, double half_width) const;
 
   /// Sum of corridor segment lengths, metres.
   double length() const { return length_; }
@@ -73,6 +88,15 @@ class RouteCorridor {
 
   const RoadGraph* graph_ = nullptr;
   std::vector<int> segments_;
+  /// Endpoint positions of segments_[i], cached at build so admission never
+  /// re-derives them through RoadGraph per query.
+  struct SegEnds {
+    core::Vec2 a, b;
+  };
+  std::vector<SegEnds> ends_;
+  // Axis-aligned bounds over all cached endpoints (empty corridor: min > max).
+  core::Vec2 bbox_min_{1.0, 1.0};
+  core::Vec2 bbox_max_{0.0, 0.0};
   double length_ = 0.0;
   bool route_found_ = false;
 };

@@ -1,0 +1,27 @@
+#include "map/segment_snapshot.h"
+
+namespace vanet::map {
+
+int SegmentSnapshot::segment_of(std::uint32_t id, core::Vec2 pos) {
+  ++stats_.queries;
+  if (id >= entries_.size()) {
+    entries_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  Entry& e = entries_[id];
+  if (e.seg >= 0 && e.pos == pos) {
+    ++stats_.hits;
+    return e.seg;
+  }
+  int seg = prover_ ? prover_(id, pos) : -1;
+  if (seg >= 0) {
+    ++stats_.proven;
+  } else {
+    ++stats_.index_queries;
+    seg = index_.nearest_segment(pos);
+  }
+  e.pos = pos;
+  e.seg = seg;
+  return seg;
+}
+
+}  // namespace vanet::map

@@ -34,6 +34,12 @@ class MobilityManager {
   bool has_vehicle(VehicleId id) const {
     return id < index_.size() && index_[id] != kNoVehicle;
   }
+  /// Index of `id` in model().vehicles(), or npos when the id is not a
+  /// vehicle (RSUs live outside the mobility model).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t model_index(VehicleId id) const {
+    return id < index_.size() ? index_[id] : npos;
+  }
   const std::vector<VehicleState>& vehicles() const { return model_->vehicles(); }
   core::SimTime tick_interval() const { return tick_; }
 

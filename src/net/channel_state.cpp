@@ -133,9 +133,14 @@ core::SimTime ChannelState::busy_until(core::Vec2 pos, core::SimTime now,
                                        double range) const {
   VANET_ASSERT(range <= cell_size_);
   core::SimTime busy = core::SimTime::zero();
+  const double bound = range * kAxisSlack;
   for_each_in_neighborhood(pos, [&](Handle h) {
     const Tx& t = slots_[h];
     if (t.end > now &&
+        // Conservative axis prefilter (see kAxisSlack): only skips entries
+        // the exact test below could never accept, so the max is unchanged.
+        std::abs(t.pos.x - pos.x) <= bound &&
+        std::abs(t.pos.y - pos.y) <= bound &&
         // norm() <= range: the MAC's historical inclusive-sqrt comparison.
         (t.pos - pos).norm() <= range) {
       busy = std::max(busy, t.end);
@@ -150,10 +155,13 @@ bool ChannelState::interference_at(core::Vec2 pos, core::SimTime start,
                                    Handle self) const {
   VANET_ASSERT(range <= cell_size_);
   bool hit = false;
+  const double bound = range * kAxisSlack;
   for_each_in_neighborhood(pos, [&](Handle h) {
     if (h == self) return false;
     const Tx& t = slots_[h];
-    if (t.start < end && t.end > start && (t.pos - pos).norm() <= range) {
+    if (t.start < end && t.end > start &&
+        std::abs(t.pos.x - pos.x) <= bound &&
+        std::abs(t.pos.y - pos.y) <= bound && (t.pos - pos).norm() <= range) {
       hit = true;
       return true;
     }

@@ -28,6 +28,8 @@ struct HelloConfig {
 };
 
 struct HelloHeader final : Header {
+  static constexpr HeaderTag kTag = HeaderTag::kHello;
+  HelloHeader() : Header{kTag} {}
   core::Vec2 pos;
   core::Vec2 vel;
   core::Vec2 acc;

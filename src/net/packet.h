@@ -26,14 +26,40 @@ enum class PacketKind : std::uint8_t {
 
 std::string_view to_string(PacketKind kind);
 
-/// Base class for protocol-specific headers (dynamic_cast dispatch).
+/// Registry of concrete header types. Every Header subclass stamps its tag at
+/// construction and exposes it as `static constexpr HeaderTag kTag`;
+/// Packet::header_as dispatches on the tag with a static_cast instead of a
+/// dynamic_cast — the RTTI walk was measurable on the reception hot path
+/// (every handler probes every control frame). The hierarchy is flat and all
+/// subclasses are final, so an exact tag match is equivalent to dynamic_cast.
+enum class HeaderTag : std::uint8_t {
+  kHello,
+  kZone,
+  kGrid,
+  kCar,
+  kRreq,
+  kRrep,
+  kRerr,
+  kDsrRreq,
+  kDsrRrep,
+  kDsrData,
+  kDsrRerr,
+  kDsdv,
+};
+
+/// Base class for protocol-specific headers (tag dispatch, see HeaderTag).
 struct Header {
   virtual ~Header() = default;
 
+  HeaderTag tag() const { return tag_; }
+
  protected:
-  Header() = default;
+  explicit Header(HeaderTag tag) : tag_{tag} {}
   Header(const Header&) = default;
   Header& operator=(const Header&) = default;
+
+ private:
+  HeaderTag tag_;
 };
 
 struct Packet {
@@ -58,7 +84,9 @@ struct Packet {
   /// Typed view of the protocol header; nullptr when it is another type.
   template <typename H>
   const H* header_as() const {
-    return dynamic_cast<const H*>(header.get());
+    const Header* h = header.get();
+    return (h != nullptr && h->tag() == H::kTag) ? static_cast<const H*>(h)
+                                                 : nullptr;
   }
 };
 

@@ -17,6 +17,8 @@
 namespace vanet::routing {
 
 struct DsdvHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kDsdv;
+  DsdvHeader() : net::Header{kTag} {}
   struct Entry {
     net::NodeId dst = 0;
     std::uint16_t metric = 0;  ///< hop count; kInfMetric = unreachable

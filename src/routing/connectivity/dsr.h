@@ -15,21 +15,29 @@
 namespace vanet::routing {
 
 struct DsrRreqHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kDsrRreq;
+  DsrRreqHeader() : net::Header{kTag} {}
   std::uint32_t rreq_id = 0;
   net::NodeId target = 0;
   std::vector<net::NodeId> path;  ///< origin .. current node
 };
 
 struct DsrRrepHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kDsrRrep;
+  DsrRrepHeader() : net::Header{kTag} {}
   std::uint32_t rreq_id = 0;
   std::vector<net::NodeId> path;  ///< origin .. target, complete
 };
 
 struct DsrDataHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kDsrData;
+  DsrDataHeader() : net::Header{kTag} {}
   std::vector<net::NodeId> path;  ///< origin .. destination
 };
 
 struct DsrRerrHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kDsrRerr;
+  DsrRerrHeader() : net::Header{kTag} {}
   net::NodeId link_from = 0;
   net::NodeId link_to = 0;
   std::vector<net::NodeId> path;  ///< data path, for relaying toward the origin

@@ -32,6 +32,17 @@ class CorridorCache {
                                     std::uint64_t key, core::Vec2 src,
                                     core::Vec2 dst);
 
+  /// Same lookup with the endpoint segments already resolved (a
+  /// SegmentSnapshot hit or a segment id stamped into the packet header at
+  /// origination). A negative id falls back to the per-call index query; a
+  /// non-negative id MUST equal index.nearest_segment of the matching
+  /// position, so both overloads refresh at the same packets and return
+  /// bit-identical corridors.
+  const map::RouteCorridor& between(const map::RoadGraph& graph,
+                                    const map::SegmentIndex& index,
+                                    std::uint64_t key, core::Vec2 src,
+                                    core::Vec2 dst, int src_seg, int dst_seg);
+
   /// Pair key helper: (a, b) -> a<<32 | b.
   static std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -44,6 +55,11 @@ class CorridorCache {
     int dst_segment = -1;
     int src_entry = -1;  ///< entry_intersection of src on src_segment
     int dst_entry = -1;
+    // Positions the entry ids were resolved from, bit-exact. A lookup with
+    // the same (segment, position) bits skips the entry_intersection
+    // recomputation; any change falls through to the exact query.
+    core::Vec2 src_pos{};
+    core::Vec2 dst_pos{};
   };
   std::unordered_map<std::uint64_t, Entry> entries_;
 };

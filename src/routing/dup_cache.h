@@ -14,6 +14,11 @@ class DupCache {
   /// Returns true when `key` was already present; inserts it otherwise.
   bool seen_or_insert(std::uint64_t key) {
     if (set_.contains(key)) return true;
+    // One-shot bucket reservation for caches that prove hot: size passes
+    // capacity_/8 exactly once on the way up (FIFO eviction only kicks in at
+    // capacity_), so hot caches rehash once instead of doubling repeatedly,
+    // and cold caches never pay the full-capacity bucket allocation.
+    if (set_.size() == capacity_ / 8) set_.reserve(capacity_);
     set_.insert(key);
     order_.push_back(key);
     if (order_.size() > capacity_) {

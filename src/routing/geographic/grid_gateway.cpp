@@ -31,9 +31,11 @@ bool GridGatewayProtocol::is_gateway() const {
   const core::Vec2 here = network().position(self());
   if (road_mode()) {
     // Road cell: membership follows the nearest street, the election
-    // reference point is the cell's road anchor.
+    // reference point is the cell's road anchor. Own position is
+    // tick-aligned, so the snapshot serves it; neighbor positions are
+    // extrapolated (predicted_pos) and must stay exact index queries.
     const map::SegmentCells& cells = road_cells();
-    const int my_cell = cells.cell_at(here, segment_index());
+    const int my_cell = cells.cell_of_segment(snapped_segment(self(), here));
     const core::Vec2 anchor = cells.anchor(my_cell);
     const double my_dist = (here - anchor).norm();
     for (const auto& nbr : neighbors().snapshot()) {
@@ -60,11 +62,13 @@ bool GridGatewayProtocol::inside_corridor(const net::Packet& p,
   if (road_mode()) {
     const map::RouteCorridor& corridor = corridors_.between(
         road_map(), segment_index(),
-        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos);
+        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos,
+        h.src_seg, h.dst_seg);
     if (corridor.route_found()) {
       const map::SegmentCells& cells = road_cells();
-      const core::Vec2 anchor = cells.anchor(
-          cells.cell_at(network().position(self()), segment_index()));
+      const core::Vec2 here = network().position(self());
+      const core::Vec2 anchor =
+          cells.anchor(cells.cell_of_segment(snapped_segment(self(), here)));
       return corridor.contains(anchor, corridor_half_width_);
     }
     // No road route between the endpoints: straight-line confinement below.
@@ -79,6 +83,10 @@ bool GridGatewayProtocol::originate(net::NodeId dst, std::uint32_t flow,
   auto h = std::make_shared<GridHeader>();
   h->src_pos = network().position(self());
   h->dst_pos = network().position(dst);  // location service
+  if (road_mode()) {
+    h->src_seg = snapped_segment(self(), h->src_pos);
+    h->dst_seg = snapped_segment(dst, h->dst_pos);
+  }
 
   net::Packet p = make_data(dst, flow, seq, bytes);
   p.ttl = kGridTtl;

@@ -29,8 +29,15 @@
 namespace vanet::routing {
 
 struct GridHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kGrid;
+  GridHeader() : net::Header{kTag} {}
   core::Vec2 src_pos;
   core::Vec2 dst_pos;
+  /// Road segments nearest src_pos/dst_pos, stamped at origination in route
+  /// mode (-1 otherwise); pure functions of the stamped positions, so
+  /// receivers reusing them match a fresh index query bit-for-bit.
+  int src_seg = -1;
+  int dst_seg = -1;
 };
 
 class GridGatewayProtocol final : public RoutingProtocol {

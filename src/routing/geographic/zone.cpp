@@ -10,6 +10,10 @@ bool ZoneProtocol::originate(net::NodeId dst, std::uint32_t flow,
   h->src_pos = network().position(self());
   h->dst_pos = network().position(dst);  // location service
   h->half_width = half_width_;
+  if (route_mode()) {
+    h->src_seg = snapped_segment(self(), h->src_pos);
+    h->dst_seg = snapped_segment(dst, h->dst_pos);
+  }
 
   net::Packet p = make_data(dst, flow, seq, bytes);
   p.ttl = kZoneTtl;
@@ -21,10 +25,11 @@ bool ZoneProtocol::originate(net::NodeId dst, std::uint32_t flow,
 
 bool ZoneProtocol::inside_zone(const net::Packet& p, const ZoneHeader& h) const {
   const core::Vec2 here = network().position(self());
-  if (geometry_ == GeometryMode::kRoute && has_map() && !road_map().is_grid()) {
+  if (route_mode()) {
     const map::RouteCorridor& corridor = corridors_.between(
         road_map(), segment_index(),
-        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos);
+        CorridorCache::pair_key(p.origin, p.destination), h.src_pos, h.dst_pos,
+        h.src_seg, h.dst_seg);
     // Disconnected endpoints have no road route: the straight-line zone is
     // then the only corridor that exists.
     if (corridor.route_found()) return corridor.contains(here, h.half_width);

@@ -23,9 +23,17 @@
 namespace vanet::routing {
 
 struct ZoneHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kZone;
+  ZoneHeader() : net::Header{kTag} {}
   core::Vec2 src_pos;
   core::Vec2 dst_pos;
   double half_width = 250.0;  ///< corridor half width, m
+  /// Road segments nearest src_pos/dst_pos, stamped at origination in route
+  /// mode (-1 otherwise). Pure functions of the stamped positions, so
+  /// receivers reusing them get bit-identically what a fresh index query
+  /// over src_pos/dst_pos would return.
+  int src_seg = -1;
+  int dst_seg = -1;
 };
 
 class ZoneProtocol final : public RoutingProtocol {
@@ -45,6 +53,11 @@ class ZoneProtocol final : public RoutingProtocol {
 
  private:
   bool inside_zone(const net::Packet& p, const ZoneHeader& h) const;
+  /// Route-corridor confinement active (kRoute + non-lattice map bound)?
+  bool route_mode() const {
+    return geometry_ == GeometryMode::kRoute && has_map() &&
+           !road_map().is_grid();
+  }
 
   double half_width_;
   GeometryMode geometry_;

@@ -85,6 +85,9 @@ void OnDemandBase::issue_rreq(net::NodeId dst) {
   stamp_self_kinematics(*h);
   h->origin_pos = network().position(self());
   h->origin_vel = network().velocity(self());
+  if (uses_road_corridor() && has_map()) {
+    h->origin_seg = snapped_segment(self(), h->origin_pos);
+  }
 
   net::Packet p;
   p.kind = net::PacketKind::kControl;
@@ -147,6 +150,15 @@ void OnDemandBase::handle_rreq(const net::Packet& p) {
   VANET_ASSERT(h != nullptr);
   if (h->rreq_origin == self()) return;
 
+  const std::uint64_t key = DupCache::key(h->rreq_origin, h->rreq_id, 0);
+  // Duplicate copies at intermediate nodes fall through to the seen-check
+  // below and drop without ever using the link evaluation; evaluate_link is
+  // pure (metric computation only), so skipping it for copies the check is
+  // guaranteed to drop is behavior-identical — and duplicate copies are the
+  // bulk of a flood, so this skips most of the per-RREQ metric cost. Target
+  // copies are exempt: every copy is a candidate path there.
+  if (h->target != self() && rreq_seen_.contains(key)) return;
+
   const LinkEval ev = evaluate_link(*h);
   if (!ev.usable) return;
 
@@ -155,8 +167,6 @@ void OnDemandBase::handle_rreq(const net::Packet& p) {
   updated.cost += ev.cost;
   updated.min_lifetime = std::min(updated.min_lifetime, ev.lifetime);
   updated.reliability *= ev.reliability;
-
-  const std::uint64_t key = DupCache::key(h->rreq_origin, h->rreq_id, 0);
 
   if (h->target == self()) {
     ++events().rreq_at_target;

@@ -25,6 +25,8 @@
 namespace vanet::routing {
 
 struct RreqHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kRreq;
+  RreqHeader() : net::Header{kTag} {}
   std::uint32_t rreq_id = 0;
   net::NodeId rreq_origin = 0;
   net::NodeId target = 0;
@@ -40,9 +42,16 @@ struct RreqHeader final : net::Header {
   int prev_group = 0;          ///< Taleb velocity group of previous hop
   core::Vec2 origin_pos;
   core::Vec2 origin_vel;
+  /// Road segment nearest origin_pos, stamped at origination by protocols
+  /// whose corridor admission needs it (uses_road_corridor()); -1 otherwise.
+  /// nearest_segment is a pure function of origin_pos, so receivers reusing
+  /// the stamp get bit-identically what re-querying the index would return.
+  int origin_seg = -1;
 };
 
 struct RrepHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kRrep;
+  RrepHeader() : net::Header{kTag} {}
   std::uint32_t rreq_id = 0;
   net::NodeId rreq_origin = 0;
   net::NodeId target = 0;
@@ -54,6 +63,8 @@ struct RrepHeader final : net::Header {
 };
 
 struct RerrHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kRerr;
+  RerrHeader() : net::Header{kTag} {}
   net::NodeId broken_destination = 0;
 };
 
@@ -105,6 +116,10 @@ class OnDemandBase : public RoutingProtocol {
   virtual void forward_rreq(const net::Packet& p, const RreqHeader& h);
   /// Initial ticket count for fresh RREQs (0 = unlimited flooding).
   virtual int initial_tickets() const { return 0; }
+  /// True when this protocol admits RREQs against a road-route corridor, so
+  /// issue_rreq should resolve and stamp origin_seg. Default off: protocols
+  /// that never read the stamp skip the segment query entirely.
+  virtual bool uses_road_corridor() const { return false; }
   /// Fraction of the predicted route lifetime after which the source
   /// proactively re-discovers (0 disables; PBR/Taleb/Yan use ~0.7-0.8).
   virtual double preemptive_rebuild_fraction() const { return 0.0; }

@@ -17,6 +17,8 @@
 namespace vanet::routing {
 
 struct CarHeader final : net::Header {
+  static constexpr net::HeaderTag kTag = net::HeaderTag::kCar;
+  CarHeader() : net::Header{kTag} {}
   std::vector<int> anchors;      ///< intersection indices, source -> dest
   std::size_t next_anchor = 0;   ///< first anchor not yet reached
 };

@@ -3,19 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/lifetime_memo.h"
+
 namespace vanet::routing {
 
 bool GvGridProtocol::inside_route_corridor(const RreqHeader& h) const {
-  if (geometry_ != GeometryMode::kRoute || !has_map() || road_map().is_grid()) {
+  if (!uses_road_corridor()) {
     return true;  // legacy: discovery is unconfined
   }
-  // The origin stamped its position into the RREQ; the target's position
-  // comes from the same idealized location service the geographic family
-  // uses (zone/grid stamp it at origination the same way).
+  // The origin stamped its position (and its road segment — pure function of
+  // the position, so the stamp equals a fresh query) into the RREQ; the
+  // target's position comes from the same idealized location service the
+  // geographic family uses, and its segment from the scenario's per-tick
+  // snapshot when one is bound.
+  const core::Vec2 target_pos = network().position(h.target);
   const map::RouteCorridor& corridor = corridors_.between(
       road_map(), segment_index(),
       CorridorCache::pair_key(h.rreq_origin, h.target), h.origin_pos,
-      network().position(h.target));
+      target_pos, h.origin_seg, snapped_segment(h.target, target_pos));
   if (!corridor.route_found()) return true;  // disconnected: no confinement
   return corridor.contains(network().position(self()), corridor_half_width_);
 }
@@ -46,7 +51,8 @@ LinkEval GvGridProtocol::evaluate_link(const RreqHeader& h) const {
   const double reliability = std::clamp(dist.survival(horizon_), 1e-6, 1.0);
   ev.reliability = reliability;
   ev.cost = -std::log(reliability);
-  ev.lifetime = dist.expected_lifetime(/*horizon=*/600.0);
+  ev.lifetime = analysis::expected_lifetime_via(lifetime_memo(), r, d0, mu,
+                                                sigma_, /*horizon=*/600.0);
   return ev;
 }
 

@@ -46,6 +46,10 @@ class GvGridProtocol final : public OnDemandBase {
   LinkEval evaluate_link(const RreqHeader& h) const override;
   bool path_better(const PathMetric& a, const PathMetric& b) const override;
   bool reply_immediately() const override { return false; }
+  bool uses_road_corridor() const override {
+    return geometry_ == GeometryMode::kRoute && has_map() &&
+           !road_map().is_grid();
+  }
 
  private:
   /// kRoute: is this node inside the road corridor origin→target?

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/lifetime_memo.h"
+
 namespace vanet::routing {
 
 LinkEval NiuDeProtocol::evaluate_link(const RreqHeader& h) const {
@@ -29,7 +31,8 @@ LinkEval NiuDeProtocol::evaluate_link(const RreqHeader& h) const {
   reliability = std::clamp(reliability, 1e-6, 1.0);
   ev.reliability = reliability;
   ev.cost = -std::log(reliability);
-  ev.lifetime = dist.expected_lifetime(/*horizon=*/600.0);
+  ev.lifetime = analysis::expected_lifetime_via(lifetime_memo(), r, d0, mu,
+                                                sigma_, /*horizon=*/600.0);
   return ev;
 }
 

@@ -3,6 +3,7 @@
 #include "core/assert.h"
 #include "map/road_graph.h"
 #include "map/segment_index.h"
+#include "map/segment_snapshot.h"
 
 namespace vanet::routing {
 
@@ -42,6 +43,13 @@ const map::RoadGraph& RoutingProtocol::road_map() const {
 const map::SegmentIndex& RoutingProtocol::segment_index() const {
   VANET_ASSERT_MSG(ctx_.segments != nullptr, "no segment index bound");
   return *ctx_.segments;
+}
+
+int RoutingProtocol::snapped_segment(net::NodeId id, core::Vec2 pos) const {
+  if (ctx_.seg_snapshot != nullptr) {
+    return ctx_.seg_snapshot->segment_of(id, pos);
+  }
+  return segment_index().nearest_segment(pos);
 }
 
 net::Packet RoutingProtocol::make_data(net::NodeId dst, std::uint32_t flow,

@@ -16,9 +16,14 @@
 #include "net/network.h"
 #include "net/packet.h"
 
+namespace vanet::analysis {
+class LifetimeMemo;
+}  // namespace vanet::analysis
+
 namespace vanet::map {
 class RoadGraph;
 class SegmentIndex;
+class SegmentSnapshot;
 }  // namespace vanet::map
 
 namespace vanet::routing {
@@ -77,6 +82,12 @@ struct ProtocolContext {
   // optional and fall back to their GeometryMode::kLine path.
   const map::RoadGraph* map = nullptr;
   const map::SegmentIndex* segments = nullptr;
+  // Scenario-owned caches (null in bare harnesses — protocols fall back to
+  // direct computation; cached and uncached paths are bit-identical, see
+  // docs/ARCHITECTURE.md "Scenario-owned caches"). Mutable shared state, but
+  // scenarios are single-threaded so no synchronisation is needed.
+  analysis::LifetimeMemo* lifetime_memo = nullptr;
+  map::SegmentSnapshot* seg_snapshot = nullptr;
 };
 
 class RoutingProtocol {
@@ -124,6 +135,15 @@ class RoutingProtocol {
   /// Shared road graph / segment index; precondition: has_map().
   const map::RoadGraph& road_map() const;
   const map::SegmentIndex& segment_index() const;
+
+  /// Scenario-owned caches; null when the binder did not supply them.
+  analysis::LifetimeMemo* lifetime_memo() const { return ctx_.lifetime_memo; }
+  map::SegmentSnapshot* seg_snapshot() const { return ctx_.seg_snapshot; }
+  /// Nearest segment to node `id` at its current position `pos`: the
+  /// scenario snapshot when bound, a direct index query otherwise.
+  /// Bit-identical either way. Precondition: has_map(); `pos` must be the
+  /// node's current tick-aligned position (never an extrapolation).
+  int snapped_segment(net::NodeId id, core::Vec2 pos) const;
 
   /// Fresh data packet originated here.
   net::Packet make_data(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,

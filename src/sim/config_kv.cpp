@@ -244,6 +244,8 @@ std::vector<Field> build_fields() {
   num("car_cell_m", REF(car_cell_m));
   num("sample_reachability", REF(sample_reachability));
   num("density.incremental", REF(density_incremental));
+  num("lifetime.memo", REF(lifetime_memo));
+  num("lifetime.interp", REF(lifetime_interp));
   fields.push_back(geometry_field("zone.geometry", REF(zone_geometry)));
   fields.push_back(geometry_field("grid.geometry", REF(grid_geometry)));
   fields.push_back(geometry_field("gvgrid.geometry", REF(gvgrid_geometry)));

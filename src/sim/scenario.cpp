@@ -245,21 +245,53 @@ void Scenario::build_support() {
   if (incremental_density_) {
     segment_ambiguous_ = map::ambiguous_interior_segments(*road_graph_);
   }
+  // Scenario-owned caches: the lifetime memo (exact by default, interp by
+  // opt-in, absent when both keys are off) and the per-tick segment
+  // snapshot. Both are shared with the protocols in build_protocols.
+  if (cfg_.lifetime_interp) {
+    lifetime_memo_ =
+        std::make_unique<analysis::LifetimeMemo>(analysis::LifetimeMemo::Mode::kInterp);
+  } else if (cfg_.lifetime_memo) {
+    lifetime_memo_ = std::make_unique<analysis::LifetimeMemo>();
+  }
+  seg_snapshot_ = std::make_unique<map::SegmentSnapshot>(*segment_index_);
+  if (incremental_density_) {
+    // Graph mobility proves driven segments (MobilityModel::reported_segment)
+    // for positions it produced this tick; declining on any position mismatch
+    // keeps the prover safe against non-current (stamped or extrapolated)
+    // positions a protocol might feed the snapshot.
+    seg_snapshot_->set_prover([this](std::uint32_t id, core::Vec2 pos) -> int {
+      const std::size_t i = mobility_->model_index(id);
+      if (i == mobility::MobilityManager::npos) return -1;
+      if (mobility_->vehicles()[i].pos != pos) return -1;
+      int seg = mobility_->model().reported_segment(i);
+      if (seg >= 0 && segment_ambiguous_[static_cast<std::size_t>(seg)]) {
+        seg = -1;
+      }
+      return seg;
+    });
+  }
   schedule_density_updates();
 }
 
 void Scenario::update_density() {
   std::vector<double> counts(road_graph_->segment_count(), 0.0);
-  const mobility::MobilityModel& model = mobility_->model();
   const auto& vehicles = mobility_->vehicles();
   for (std::size_t i = 0; i < vehicles.size(); ++i) {
-    int seg = incremental_density_ ? model.reported_segment(i) : -1;
-    if (seg >= 0 && segment_ambiguous_[static_cast<std::size_t>(seg)]) seg = -1;
-    if (seg < 0) {
-      // The index returns exactly RoadGraph::segment_of_position(pos) — see
-      // map/segment_index.h — without the O(segments) scan per vehicle; a
-      // proven reported_segment returns the same id without any query, which
-      // is what keeps the incremental and rescan refreshes digest-identical.
+    int seg;
+    if (incremental_density_) {
+      // Through the snapshot: its prover is exactly the proven
+      // reported_segment + ambiguity-mask logic this loop used to inline,
+      // its fallback the same index query — digest-identical — and routing
+      // the refresh through it warms the per-node entries the route-geometry
+      // protocols read.
+      seg = seg_snapshot_->segment_of(vehicles[i].id, vehicles[i].pos);
+    } else {
+      // Full rescan (`density.incremental=false`): direct index queries,
+      // deliberately bypassing every cache so the equivalence test compares
+      // against an independent path. The index returns exactly
+      // RoadGraph::segment_of_position(pos) — see map/segment_index.h —
+      // without the O(segments) scan per vehicle.
       seg = segment_index_->nearest_segment(vehicles[i].pos);
     }
     counts[static_cast<std::size_t>(seg)] += 1.0;
@@ -309,9 +341,12 @@ void Scenario::build_protocols() {
     ctx.events = &events_;
     ctx.self = id;
     // Every protocol sees the same shared road topology the vehicles drive
-    // on (non-owning; the scenario outlives the protocols).
+    // on (non-owning; the scenario outlives the protocols), and the same
+    // scenario-owned caches.
     ctx.map = road_graph_.get();
     ctx.segments = segment_index_.get();
+    ctx.lifetime_memo = lifetime_memo_.get();
+    ctx.seg_snapshot = seg_snapshot_.get();
     protocols_[id]->bind(ctx);
 
     net_->set_receive_handler(id, [this, id](const net::Packet& p) {

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lifetime_memo.h"
 #include "core/rng.h"
 #include "core/simulator.h"
 #include "map/segment_index.h"
+#include "map/segment_snapshot.h"
 #include "mobility/graph_mobility.h"
 #include "mobility/idm_highway.h"
 #include "mobility/manhattan_grid.h"
@@ -84,6 +86,18 @@ struct ScenarioConfig {
   /// `density.incremental=false` forces the rescan, mainly for the
   /// equivalence test.
   bool density_incremental = true;
+  /// Exact memo in front of the link-lifetime integration
+  /// (analysis::LifetimeMemo): repeated (distance, relative-speed) inputs
+  /// return the cached integral. Bit-identical to direct integration by
+  /// construction; `lifetime.memo=false` disables it, mainly for the
+  /// equivalence test.
+  bool lifetime_memo = true;
+  /// Opt-in interpolation table for the link-lifetime integral
+  /// (`lifetime.interp=true`): bilinear between pre-integrated grid corners.
+  /// RESULTS-CHANGING — reports differ from the exact integration, so this
+  /// is off by default and pinned by its own golden digest row. Takes
+  /// precedence over `lifetime.memo` when enabled.
+  bool lifetime_interp = false;
   // Geometry backend of the road-geometry protocols (`zone.geometry` etc.,
   // values line|route — see routing::GeometryMode).
   routing::GeometryMode zone_geometry = routing::GeometryMode::kLine;
@@ -154,6 +168,15 @@ class Scenario {
   std::size_t vehicle_count() const { return vehicle_count_; }
   /// The shared road topology (mobility + routing both reference it).
   const map::RoadGraph& road_graph() const { return *road_graph_; }
+  /// Scenario-owned caches (see docs/ARCHITECTURE.md, "Scenario-owned
+  /// caches"); the memo is null when `lifetime.memo=false` and
+  /// `lifetime.interp=false`.
+  const analysis::LifetimeMemo* lifetime_memo() const {
+    return lifetime_memo_.get();
+  }
+  const map::SegmentSnapshot* segment_snapshot() const {
+    return seg_snapshot_.get();
+  }
 
  private:
   void build_map();
@@ -181,6 +204,11 @@ class Scenario {
 
   std::shared_ptr<map::RoadGraph> road_graph_;
   std::unique_ptr<map::SegmentIndex> segment_index_;
+  // Scenario-owned caches, shared (non-owning) with every protocol instance
+  // via ProtocolContext. Both serve bit-identical values to the uncached
+  // queries they stand in for (the interp memo mode excepted, by opt-in).
+  std::unique_ptr<analysis::LifetimeMemo> lifetime_memo_;
+  std::unique_ptr<map::SegmentSnapshot> seg_snapshot_;
   std::shared_ptr<map::SegmentDensityOracle> density_;
   /// Segments whose interiors cannot prove nearest-segment identity; only
   /// populated when the incremental density path is active (graph mobility).

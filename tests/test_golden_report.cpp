@@ -92,6 +92,24 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     cfg.traffic.stop_s = 15.0;
     configs["town-zone-route"] = cfg;
   }
+  {
+    // The opt-in interpolated lifetime table (lifetime.interp): the only
+    // results-changing switch of the geometry-cache layer gets its own row so
+    // its physics are pinned too. Deliberately the same town + kRoute shape
+    // as the gvgrid hot path the table accelerates.
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = 30;
+    cfg.protocol = "gvgrid";
+    cfg.gvgrid_geometry = routing::GeometryMode::kRoute;
+    cfg.lifetime_interp = true;
+    cfg.traffic.stop_s = 15.0;
+    configs["town-gvgrid-interp"] = cfg;
+  }
   return configs;
 }
 

@@ -7,10 +7,17 @@
 namespace vanet::net {
 namespace {
 
+// Stand-in header types borrowing two distinct registry tags: header_as
+// dispatches purely on the tag, so any two distinct HeaderTag values exercise
+// the match/mismatch paths.
 struct HeaderA final : Header {
+  static constexpr HeaderTag kTag = HeaderTag::kHello;
+  HeaderA() : Header{kTag} {}
   int value = 1;
 };
 struct HeaderB final : Header {
+  static constexpr HeaderTag kTag = HeaderTag::kZone;
+  HeaderB() : Header{kTag} {}
   int value = 2;
 };
 
@@ -20,6 +27,7 @@ TEST(Packet, HeaderTypedAccess) {
   EXPECT_NE(p.header_as<HeaderA>(), nullptr);
   EXPECT_EQ(p.header_as<HeaderB>(), nullptr);
   EXPECT_EQ(p.header_as<HeaderA>()->value, 1);
+  EXPECT_EQ(p.header->tag(), HeaderTag::kHello);
 }
 
 TEST(Packet, NullHeaderIsSafe) {

@@ -15,7 +15,11 @@ Exit status 1 (regression) when any matched run:
     which a perf refactor must never do (see docs/PERFORMANCE.md);
   - slowed down by more than --perf-tolerance in events/sec (default 15%);
   - reports a warm scheduler heap-fallback (`sched_oversize_callbacks` above
-    0.1% of dispatched events) — the small-buffer optimisation went cold.
+    0.1% of dispatched events) — the small-buffer optimisation went cold;
+  - shows a geometry-cache warm hit rate (lifetime memo / segment snapshot,
+    see docs/ARCHITECTURE.md "Scenario-owned caches") more than 5 points
+    below the baseline rate — only enforced when both runs expose the
+    counters and both saw enough lookups for the rate to mean anything.
 Also fails when no runs matched at all, so a renamed config cannot silently
 disable the check.
 
@@ -27,6 +31,45 @@ part that must never fire.
 import argparse
 import json
 import sys
+
+
+# Warm-cache regression thresholds. A cache that was never exercised (tiny
+# run, or a family that does not own the cache) has a meaningless rate, so
+# rates only compare when both runs saw at least MIN_CACHE_SAMPLE lookups.
+CACHE_RATE_CHECKS = (
+    # (label, rate field, fields summed for the lookup count)
+    (
+        "lifetime memo",
+        "lifetime_memo_hit_rate",
+        ("lifetime_memo_hits", "lifetime_memo_misses"),
+    ),
+    ("segment snapshot", "seg_snapshot_hit_rate", ("seg_snapshot_queries",)),
+)
+MIN_CACHE_SAMPLE = 1000
+CACHE_RATE_SLACK = 0.05
+
+
+def cache_rate_failures(name, baseline, fresh):
+    """Failure strings for geometry caches that went cold vs the baseline.
+
+    Returns [] when the counters are absent on either side (pre-cache
+    baseline JSON, or a fresh build with the fields compiled out) or when
+    either run saw too few lookups for a rate comparison.
+    """
+    out = []
+    for label, rate_field, count_fields in CACHE_RATE_CHECKS:
+        if rate_field not in baseline or rate_field not in fresh:
+            continue
+        b_lookups = sum(baseline.get(f, 0) for f in count_fields)
+        f_lookups = sum(fresh.get(f, 0) for f in count_fields)
+        if min(b_lookups, f_lookups) < MIN_CACHE_SAMPLE:
+            continue
+        if fresh[rate_field] < baseline[rate_field] - CACHE_RATE_SLACK:
+            out.append(
+                f"{name}: {label} went cold (warm hit rate "
+                f"{baseline[rate_field]:.1%} -> {fresh[rate_field]:.1%})"
+            )
+    return out
 
 
 def key_of(run):
@@ -103,6 +146,8 @@ def main():
                     f"{name}: scheduler heap fallback is warm "
                     f"({oversize} oversize callbacks, {rate:.2%} of events)"
                 )
+
+        failures.extend(cache_rate_failures(name, b, f))
 
         print(
             f"{name}: digest ok, {f['events_per_sec']:.0f} ev/s "
