@@ -5,6 +5,8 @@
 // simulators side by side.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <utility>
 
 #include "core/event_queue.h"
@@ -75,6 +77,16 @@ class Simulator {
   /// Request that the run loop stops after the current event.
   void stop() { stopped_ = true; }
 
+  /// Install a guard polled every `every` dispatched events during run loops;
+  /// it may throw (aborting the run) or call stop(). Used by the experiment
+  /// engine's watchdog (wall-clock timeout, event budget). Pass a null
+  /// function to remove. The check never runs mid-event, so model state stays
+  /// consistent at the throw point.
+  void set_abort_check(std::function<void()> fn, std::uint64_t every = 1024) {
+    abort_check_ = std::move(fn);
+    abort_check_every_ = every == 0 ? 1 : every;
+  }
+
   std::uint64_t events_dispatched() const { return queue_.dispatched(); }
   std::size_t events_pending() const { return queue_.size(); }
 
@@ -87,6 +99,9 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   bool stopped_ = false;
+  std::function<void()> abort_check_;
+  std::uint64_t abort_check_every_ = 1024;
+  std::uint64_t abort_check_countdown_ = 0;
 };
 
 }  // namespace vanet::core

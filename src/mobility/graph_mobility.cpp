@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/assert.h"
 
@@ -27,6 +28,17 @@ GraphMobilityModel::GraphMobilityModel(
   VANET_ASSERT(cfg_.replan_prob >= 0.0 && cfg_.replan_prob <= 1.0);
 }
 
+std::vector<int> GraphMobilityModel::plan_path(int at, int dest) const {
+  if (blocked_count_ == 0) return graph_->shortest_path_by_length(at, dest);
+  // Blocked segments cost infinity; Dijkstra never relaxes an infinite-cost
+  // edge, so the incident is routed around (or `dest` reads unreachable).
+  return graph_->shortest_path(at, dest, [this](int seg) {
+    return blocked_[static_cast<std::size_t>(seg)] != 0
+               ? std::numeric_limits<double>::infinity()
+               : graph_->segment_length(seg);
+  });
+}
+
 void GraphMobilityModel::plan_trip(Car& c, int at, core::Rng& rng) {
   const int n = graph_->intersection_count();
   const core::Vec2 here = graph_->intersection_pos(at);
@@ -41,7 +53,7 @@ void GraphMobilityModel::plan_trip(Car& c, int at, core::Rng& rng) {
           (graph_->intersection_pos(dest) - here).norm() < cfg_.min_trip_m) {
         continue;
       }
-      auto path = graph_->shortest_path_by_length(at, dest);
+      auto path = plan_path(at, dest);
       if (path.size() < 2) continue;  // unreachable
       c.from = at;
       c.dest = dest;
@@ -53,11 +65,29 @@ void GraphMobilityModel::plan_trip(Car& c, int at, core::Rng& rng) {
     }
   }
   // Degree >= 1 is a class invariant, so a one-hop trip always exists.
+  // Under incidents, prefer an open exit; when every street out of this
+  // intersection is blocked, drive through anyway rather than stranding
+  // the vehicle (with blocked_count_ == 0 the draw matches the pre-fault
+  // sequence exactly).
   const auto& adj = graph_->adjacency(at);
-  const int nbr =
-      adj[static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<std::int64_t>(adj.size()) - 1))]
-          .first;
+  std::size_t pick;
+  if (blocked_count_ > 0) {
+    std::vector<std::size_t> open;
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      if (blocked_[static_cast<std::size_t>(adj[k].second)] == 0) {
+        open.push_back(k);
+      }
+    }
+    pick = open.empty()
+               ? static_cast<std::size_t>(rng.uniform_int(
+                     0, static_cast<std::int64_t>(adj.size()) - 1))
+               : open[static_cast<std::size_t>(rng.uniform_int(
+                     0, static_cast<std::int64_t>(open.size()) - 1))];
+  } else {
+    pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(adj.size()) - 1));
+  }
+  const int nbr = adj[pick].first;
   c.from = at;
   c.dest = nbr;
   c.path = {at, nbr};
@@ -108,7 +138,14 @@ void GraphMobilityModel::step(double dt, core::Rng& rng) {
       remaining -= left;
       ++hops;
       const int here = c.to;
-      if (here == c.dest || c.path_idx + 1 >= c.path.size() ||
+      // An incident on the next planned segment forces a re-plan. Evaluated
+      // before the replan draw: with nothing blocked this is always false,
+      // so fault-free runs consume randomness exactly as before.
+      const bool next_blocked =
+          blocked_count_ > 0 && c.path_idx + 1 < c.path.size() &&
+          blocked_[static_cast<std::size_t>(graph_->segment_between(
+              here, c.path[c.path_idx + 1]))] != 0;
+      if (here == c.dest || c.path_idx + 1 >= c.path.size() || next_blocked ||
           rng.bernoulli(cfg_.replan_prob)) {
         plan_trip(c, here, rng);
       } else {
@@ -139,6 +176,27 @@ void GraphMobilityModel::refresh_state(std::size_t i) {
 int GraphMobilityModel::current_segment(VehicleId id) const {
   const Car& c = cars_.at(id);
   return graph_->segment_between(c.from, c.to);
+}
+
+void GraphMobilityModel::set_segment_blocked(int segment, bool blocked) {
+  VANET_ASSERT_MSG(
+      segment >= 0 &&
+          static_cast<std::size_t>(segment) < graph_->segment_count(),
+      "set_segment_blocked: unknown segment");
+  if (blocked_.empty()) blocked_.assign(graph_->segment_count(), 0);
+  char& slot = blocked_[static_cast<std::size_t>(segment)];
+  if ((slot != 0) == blocked) return;
+  slot = blocked ? 1 : 0;
+  blocked_count_ += blocked ? 1 : -1;
+}
+
+bool GraphMobilityModel::segment_blocked(int segment) const {
+  VANET_ASSERT_MSG(
+      segment >= 0 &&
+          static_cast<std::size_t>(segment) < graph_->segment_count(),
+      "segment_blocked: unknown segment");
+  return blocked_count_ > 0 &&
+         blocked_[static_cast<std::size_t>(segment)] != 0;
 }
 
 int GraphMobilityModel::reported_segment(std::size_t i) const {

@@ -57,6 +57,17 @@ class GraphMobilityModel final : public MobilityModel {
   /// Segment id vehicle `id` currently drives on (tests, diagnostics).
   int current_segment(VehicleId id) const;
 
+  /// Block or clear a road segment (incident injection, sim::FaultPlan).
+  /// Trip planning treats blocked segments as infinite cost, so new paths
+  /// route around the incident; a vehicle already on the segment finishes
+  /// traversing it (positions stay on-edge, the class invariant) and
+  /// re-plans at the next intersection. When every street out of an
+  /// intersection is blocked, the fallback hop drives through anyway rather
+  /// than stranding the vehicle. With no segment blocked, planning and the
+  /// per-step draw sequence are bit-identical to the fault-free model.
+  void set_segment_blocked(int segment, bool blocked);
+  bool segment_blocked(int segment) const;
+
  private:
   struct Car {
     int from = 0;              ///< intersection behind
@@ -74,12 +85,19 @@ class GraphMobilityModel final : public MobilityModel {
   /// Draw a destination reachable from `at` and install the path; falls back
   /// to a random neighbor hop when no distinct destination is reachable.
   void plan_trip(Car& c, int at, core::Rng& rng);
+  /// Shortest path honouring blocked segments (plain by-length Dijkstra when
+  /// nothing is blocked).
+  std::vector<int> plan_path(int at, int dest) const;
   void refresh_state(std::size_t i);
 
   std::shared_ptr<const map::RoadGraph> graph_;
   GraphMobilityConfig cfg_;
   std::vector<VehicleState> states_;
   std::vector<Car> cars_;
+  /// Per-segment incident flags, sized lazily on first block; empty (and
+  /// blocked_count_ == 0) on every fault-free run.
+  std::vector<char> blocked_;
+  int blocked_count_ = 0;
 };
 
 }  // namespace vanet::mobility

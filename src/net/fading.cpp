@@ -1,0 +1,86 @@
+#include "net/fading.h"
+
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace vanet::net {
+
+LogNormalShadowingModel::LogNormalShadowingModel(analysis::LogNormalParams params)
+    : params_{params},
+      nominal_range_{analysis::nominal_range(params)},
+      max_range_{analysis::max_range(params)} {}
+
+bool LogNormalShadowingModel::try_receive(double distance, core::Rng& rng) const {
+  if (distance > max_range_) return false;
+  return rng.bernoulli(analysis::receipt_probability(distance, params_));
+}
+
+double LogNormalShadowingModel::receipt_probability(double distance) const {
+  return analysis::receipt_probability(distance, params_);
+}
+
+namespace {
+
+/// Gamma tail Q(m, x) = P(Gamma(m, 1) > x) for integer shape m >= 1:
+/// the Erlang closed form exp(-x) * sum_{k<m} x^k / k!.
+double gamma_tail(int m, double x) {
+  if (x <= 0.0) return 1.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < m; ++k) {
+    term *= x / static_cast<double>(k);
+    sum += term;
+  }
+  return std::exp(-x) * sum;
+}
+
+/// Nakagami-m receipt probability at distance `d`: instantaneous received
+/// power ~ Gamma(m, mean/m) around the log-distance mean, so
+/// P(power > threshold) = Q(m, m * threshold / mean) with the threshold/mean
+/// ratio evaluated in dB space.
+double nakagami_receipt(double d, const analysis::LogNormalParams& p, int m) {
+  const double margin_db = p.rx_threshold_dbm - analysis::mean_rx_dbm(d, p);
+  const double x = static_cast<double>(m) * std::pow(10.0, margin_db / 10.0);
+  return gamma_tail(m, x);
+}
+
+/// Largest distance where nakagami_receipt >= `level` (monotone decreasing
+/// beyond the reference distance), by doubling bracket + bisection.
+double nakagami_range_for(const analysis::LogNormalParams& p, int m,
+                          double level) {
+  double lo = p.ref_distance_m;
+  if (nakagami_receipt(lo, p, m) < level) return lo;
+  double hi = lo * 2.0;
+  for (int i = 0; i < 64 && nakagami_receipt(hi, p, m) >= level; ++i) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (nakagami_receipt(mid, p, m) >= level ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// Hard candidate cutoff: below this probability a reception is treated as
+/// impossible (the spatial query radius). Comparable to the shadowing
+/// model's 3-sigma cutoff (~1.3e-3).
+constexpr double kNakagamiCutoff = 1e-3;
+
+}  // namespace
+
+NakagamiFadingModel::NakagamiFadingModel(analysis::LogNormalParams params, int m)
+    : params_{params},
+      m_{m},
+      nominal_range_{(VANET_ASSERT_MSG(m >= 1, "Nakagami shape m must be >= 1"),
+                      nakagami_range_for(params, m, 0.5))},
+      max_range_{nakagami_range_for(params, m, kNakagamiCutoff)} {}
+
+bool NakagamiFadingModel::try_receive(double distance, core::Rng& rng) const {
+  if (distance > max_range_) return false;
+  return rng.bernoulli(nakagami_receipt(distance, params_, m_));
+}
+
+double NakagamiFadingModel::receipt_probability(double distance) const {
+  return nakagami_receipt(distance, params_, m_);
+}
+
+}  // namespace vanet::net

@@ -49,6 +49,10 @@ NodeId Network::add_vehicle_node(mobility::VehicleId vid) {
   const core::Vec2 pos = mobility_->state(vid).pos;
   pos_cache_.push_back(pos);
   grid_.insert(id, pos);
+  if (churn_active_) {
+    recovery_pending_.push_back(false);
+    recovery_started_.push_back(core::SimTime{});
+  }
   return id;
 }
 
@@ -61,7 +65,34 @@ NodeId Network::add_rsu(core::Vec2 pos) {
   nodes_.push_back(std::move(node));
   pos_cache_.push_back(pos);
   grid_.insert(id, pos);
+  if (churn_active_) {
+    recovery_pending_.push_back(false);
+    recovery_started_.push_back(core::SimTime{});
+  }
   return id;
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  NodeImpl& node = impl(id);
+  if (!churn_active_) {
+    churn_active_ = true;
+    recovery_pending_.assign(nodes_.size(), false);
+    recovery_started_.assign(nodes_.size(), core::SimTime{});
+  }
+  if (node.up == up) return;
+  node.up = up;
+  if (!up) {
+    // Crash: the queue is lost and any frame in flight is aborted. The
+    // channel record of an aborted frame stays — it already radiated and
+    // must keep colliding with overlapping receptions.
+    node.queue.clear();
+    node.transmitting = false;
+    node.current_tx = ChannelState::kInvalidHandle;
+    recovery_pending_[id] = false;
+  } else {
+    recovery_pending_[id] = true;
+    recovery_started_[id] = sim_.now();
+  }
 }
 
 void Network::connect_backbone() {
@@ -145,6 +176,10 @@ void Network::count_sent(const Packet& p) {
 
 void Network::send(NodeId from, Packet p) {
   NodeImpl& node = impl(from);
+  if (!node.up) {
+    ++counters_.frames_dropped_down;
+    return;
+  }
   p.tx = from;
   p.uid = next_uid_++;
   ++counters_.frames_enqueued;
@@ -167,7 +202,7 @@ void Network::schedule_attempt(NodeImpl& node, core::SimTime delay) {
 void Network::attempt_transmission(NodeId id) {
   NodeImpl& node = impl(id);
   node.attempt_pending = false;
-  if (node.transmitting || node.queue.empty()) return;
+  if (!node.up || node.transmitting || node.queue.empty()) return;
   const core::SimTime now = sim_.now();
   // Prune before sensing so stale finished transmissions are not scanned.
   // Keep recently finished transmissions long enough for overlap checks:
@@ -192,6 +227,14 @@ void Network::attempt_transmission(NodeId id) {
 
 void Network::finish_transmission(NodeId id) {
   NodeImpl& node = impl(id);
+  const core::SimTime now = sim_.now();
+  if (churn_active_ && (!node.transmitting || node.tx_until > now)) {
+    // A crash aborted this frame mid-air: the transmit state was torn down
+    // by set_node_up(false), so this finish event is stale. (tx_until > now
+    // means the node already restarted and started a *new* frame, whose own
+    // finish event is still scheduled — leave that one alone too.)
+    return;
+  }
   VANET_ASSERT(node.transmitting);
   node.transmitting = false;
   VANET_ASSERT(!node.queue.empty());
@@ -200,7 +243,6 @@ void Network::finish_transmission(NodeId id) {
 
   // Our channel record, stored at transmit time (a lookup by end time could
   // alias when two frames end at the same instant).
-  const core::SimTime now = sim_.now();
   VANET_ASSERT_MSG(node.current_tx != ChannelState::kInvalidHandle,
                    "missing active transmission record");
   const ChannelState::Handle self_tx = node.current_tx;
@@ -218,6 +260,9 @@ void Network::finish_transmission(NodeId id) {
   grid_.query_radius_into(tx.pos, propagation_->max_range(), id, rx_scratch_);
   for (NodeId cand : rx_scratch_) {
     NodeImpl& rx_node = impl(cand);
+    // A crashed radio hears nothing (and consumes no fade draw, so churn
+    // perturbs no other node's randomness).
+    if (!rx_node.up) continue;
     // Half duplex: a node transmitting during our frame cannot receive it.
     if (rx_node.transmitting ||
         (rx_node.tx_until > tx.start && rx_node.tx_until <= now)) {
@@ -233,6 +278,11 @@ void Network::finish_transmission(NodeId id) {
     if (channel_.overlap_near(rx_pos, interference_range_)) {
       ++counters_.receptions_collided;
       continue;
+    }
+    // First frame decoded after a restart closes that node's recovery window.
+    if (churn_active_ && recovery_pending_[cand]) {
+      recovery_pending_[cand] = false;
+      recovery_latency_.add((now - recovery_started_[cand]).as_seconds());
     }
     if (packet.rx != kBroadcastId && packet.rx != cand) continue;
     ++counters_.receptions_ok;
@@ -261,12 +311,17 @@ void Network::finish_transmission(NodeId id) {
 void Network::backbone_send(NodeId from_rsu, NodeId to_rsu, Packet p) {
   VANET_ASSERT_MSG(backbone_connected(from_rsu, to_rsu),
                    "backbone_send between unconnected nodes");
+  if (!impl(from_rsu).up) {
+    ++counters_.frames_dropped_down;
+    return;
+  }
   p.tx = from_rsu;
   p.rx = to_rsu;
   p.uid = next_uid_++;
   ++counters_.backbone_frames;
   sim_.schedule(cfg_.backbone_delay, [this, to_rsu, p = std::move(p)] {
     const NodeImpl& dst = impl(to_rsu);
+    if (!dst.up) return;  // RSU outage: the wired frame dies at the port
     if (dst.on_receive) dst.on_receive(p);
   });
 }
@@ -282,6 +337,7 @@ std::vector<NodeId> Network::nodes_within(NodeId id, double range) const {
 }
 
 bool Network::reachable(NodeId from, NodeId to, double range) const {
+  if (churn_active_ && (!impl(from).up || !impl(to).up)) return false;
   if (from == to) return true;
   std::vector<bool> visited(nodes_.size(), false);
   std::vector<NodeId> frontier{from};
@@ -291,6 +347,7 @@ bool Network::reachable(NodeId from, NodeId to, double range) const {
     const NodeId u = frontier.back();
     frontier.pop_back();
     auto visit = [&](NodeId v) {
+      if (churn_active_ && !nodes_[v].up) return false;  // down: no relay
       if (v == to) return true;
       if (!visited[v]) {
         visited[v] = true;
@@ -333,11 +390,14 @@ std::vector<std::uint32_t> Network::reachability_components(double range) const 
     if (labels[root] != kUnlabeled) continue;
     const std::uint32_t label = next_label++;
     labels[root] = label;
+    // A down node is its own singleton component: labeled, never traversed.
+    if (churn_active_ && !nodes_[root].up) continue;
     stack.push_back(root);
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
       auto visit = [&](NodeId v) {
+        if (churn_active_ && !nodes_[v].up) return;
         if (labels[v] == kUnlabeled) {
           labels[v] = label;
           stack.push_back(v);

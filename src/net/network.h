@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/stats.h"
 #include "core/rng.h"
 #include "core/simulator.h"
 #include "core/spatial_grid.h"
@@ -52,6 +53,7 @@ struct NetCounters {
   std::uint64_t frames_enqueued = 0;
   std::uint64_t frames_sent = 0;         ///< transmissions started
   std::uint64_t frames_dropped_queue = 0;
+  std::uint64_t frames_dropped_down = 0; ///< send() on a crashed radio
   std::uint64_t receptions_ok = 0;
   std::uint64_t receptions_collided = 0;
   std::uint64_t receptions_faded = 0;    ///< propagation draw failed
@@ -86,6 +88,21 @@ class Network {
   std::vector<NodeId> node_ids() const;
   std::vector<NodeId> rsu_ids() const;
   bool is_rsu(NodeId id) const;
+
+  /// Crash (`up=false`) or restart (`up=true`) a node's radio. Down nodes
+  /// refuse tx and rx: send() drops (frames_dropped_down), the transmit
+  /// queue is lost, a frame in flight when the radio dies reaches nobody,
+  /// receptions skip the node, and the reachability oracles treat it as
+  /// isolated. Neighbor tables are NOT touched — hello state ages out
+  /// naturally at the receivers. Driven by sim::FaultPlan; no-op when the
+  /// node is already in the requested state.
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const { return impl(id).up; }
+  /// Restart-to-first-decoded-frame latency, seconds, over all restarts
+  /// whose recovery completed (fault recovery metric).
+  const analysis::RunningStats& recovery_latency() const {
+    return recovery_latency_;
+  }
 
   core::Vec2 position(NodeId id) const;
   /// Zero for RSUs.
@@ -132,6 +149,7 @@ class Network {
   struct NodeImpl {
     NodeId id = 0;
     bool rsu = false;
+    bool up = true;  ///< radio alive (see set_node_up)
     core::Vec2 fixed_pos;  ///< RSU position
     mobility::VehicleId vehicle = 0;
     ReceiveHandler on_receive;
@@ -173,6 +191,13 @@ class Network {
   std::vector<NodeId> rx_scratch_;
   std::uint64_t next_uid_ = 1;
   NetCounters counters_;
+  /// False until the first set_node_up call: fault-free runs skip every
+  /// per-reception down/recovery check behind this single flag, so the hot
+  /// path (and its digests) is untouched when churn is not in play.
+  bool churn_active_ = false;
+  std::vector<bool> recovery_pending_;   ///< restarted, no frame decoded yet
+  std::vector<core::SimTime> recovery_started_;
+  analysis::RunningStats recovery_latency_;
 };
 
 }  // namespace vanet::net

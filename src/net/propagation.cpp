@@ -16,18 +16,4 @@ double UnitDiskModel::receipt_probability(double distance) const {
   return distance <= range_ ? 1.0 : 0.0;
 }
 
-LogNormalShadowingModel::LogNormalShadowingModel(analysis::LogNormalParams params)
-    : params_{params},
-      nominal_range_{analysis::nominal_range(params)},
-      max_range_{analysis::max_range(params)} {}
-
-bool LogNormalShadowingModel::try_receive(double distance, core::Rng& rng) const {
-  if (distance > max_range_) return false;
-  return rng.bernoulli(analysis::receipt_probability(distance, params_));
-}
-
-double LogNormalShadowingModel::receipt_probability(double distance) const {
-  return analysis::receipt_probability(distance, params_);
-}
-
 }  // namespace vanet::net

@@ -2,14 +2,11 @@
 //
 // The channel asks a model two questions: how far can a frame possibly reach
 // (candidate cutoff), and did this particular frame at this distance make it
-// (a per-reception draw). The unit-disk model is deterministic and matches
-// the paper's analytical range r; log-normal shadowing implements the
-// probabilistic link of Sec. VII-A (REAR's premise).
+// (a per-reception draw). The unit-disk model here is deterministic and
+// matches the paper's analytical range r; the lossy models (log-normal
+// shadowing per Sec. VII-A, Nakagami-m fast fading) live in net/fading.h.
 #pragma once
 
-#include <memory>
-
-#include "analysis/signal.h"
 #include "core/rng.h"
 
 namespace vanet::net {
@@ -52,23 +49,6 @@ class UnitDiskModel final : public PropagationModel {
 
  private:
   double range_;
-};
-
-/// Log-distance path loss with log-normal shadowing (see analysis/signal.h).
-class LogNormalShadowingModel final : public PropagationModel {
- public:
-  explicit LogNormalShadowingModel(analysis::LogNormalParams params = {});
-
-  double max_range() const override { return max_range_; }
-  double nominal_range() const override { return nominal_range_; }
-  bool try_receive(double distance, core::Rng& rng) const override;
-  double receipt_probability(double distance) const override;
-  const analysis::LogNormalParams& params() const { return params_; }
-
- private:
-  analysis::LogNormalParams params_;
-  double nominal_range_;
-  double max_range_;
 };
 
 }  // namespace vanet::net

@@ -236,7 +236,64 @@ std::vector<Field> build_fields() {
     fields.push_back(std::move(f));
   }
   num("comm_range_m", REF(comm_range_m));
-  num("shadowing", REF(shadowing));
+  {
+    // Legacy alias predating `phy.model`: reads as "is the PHY the shadowing
+    // model", writes the unitdisk/shadowing subset. Registered before
+    // `phy.model` so a later explicit phy.model line re-settles it on parse.
+    Field f;
+    f.key = "shadowing";
+    f.get = [](const ScenarioConfig& cfg) {
+      return fmt_value(cfg.phy == PhyModel::kShadowing);
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      const auto parsed = parse_bool_checked(v);
+      if (!parsed) bad_value(k, v, "true|false");
+      cfg.phy = *parsed ? PhyModel::kShadowing : PhyModel::kUnitDisk;
+    };
+    fields.push_back(std::move(f));
+  }
+  {
+    Field f;
+    f.key = "phy.model";
+    f.get = [](const ScenarioConfig& cfg) {
+      switch (cfg.phy) {
+        case PhyModel::kShadowing: return std::string("shadowing");
+        case PhyModel::kNakagami: return std::string("nakagami");
+        case PhyModel::kUnitDisk: break;
+      }
+      return std::string("unitdisk");
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      if (v == "unitdisk") {
+        cfg.phy = PhyModel::kUnitDisk;
+      } else if (v == "shadowing") {
+        cfg.phy = PhyModel::kShadowing;
+      } else if (v == "nakagami") {
+        cfg.phy = PhyModel::kNakagami;
+      } else {
+        bad_value(k, v, "unitdisk|shadowing|nakagami");
+      }
+    };
+    fields.push_back(std::move(f));
+  }
+  {
+    // Validated here (not asserted in the scenario) so a bad sweep value
+    // fails as a catchable config error.
+    Field f;
+    f.key = "phy.nakagami_m";
+    f.get = [](const ScenarioConfig& cfg) { return fmt_value(cfg.nakagami_m); };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      const auto parsed = parse_int_checked(v);
+      if (!parsed || *parsed < 1 || *parsed > 64) {
+        bad_value(k, v, "an integer in [1, 64]");
+      }
+      cfg.nakagami_m = static_cast<int>(*parsed);
+    };
+    fields.push_back(std::move(f));
+  }
   num("rsu_count", REF(rsu_count));
   num("bus_count", REF(bus_count));
   fields.push_back(string_field("protocol", REF(protocol)));
@@ -311,6 +368,14 @@ std::vector<Field> build_fields() {
   num("signal.path_loss_exponent", REF(signal.path_loss_exponent));
   num("signal.shadowing_sigma_db", REF(signal.shadowing_sigma_db));
   num("signal.rx_threshold_dbm", REF(signal.rx_threshold_dbm));
+
+  // --- fault.* (deterministic fault injection; sim/fault_plan.h) -----------
+  num("fault.enabled", REF(fault.enabled));
+  fields.push_back(string_field("fault.plan", REF(fault.plan)));
+  num("fault.vehicle_mtbf_s", REF(fault.vehicle_mtbf_s));
+  num("fault.vehicle_downtime_s", REF(fault.vehicle_downtime_s));
+  num("fault.rsu_mtbf_s", REF(fault.rsu_mtbf_s));
+  num("fault.rsu_downtime_s", REF(fault.rsu_downtime_s));
 
   return fields;
 }

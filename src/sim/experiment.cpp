@@ -2,17 +2,81 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "routing/registry.h"
 
 namespace vanet::sim {
 
+namespace {
+
+/// Thrown by the watchdog installed via Simulator::set_abort_check. Derives
+/// runtime_error so fail-fast mode (guards.capture == false) propagates it
+/// like any other run failure.
+struct GuardAbort : std::runtime_error {
+  GuardAbort(std::string k, const std::string& msg)
+      : std::runtime_error(msg), kind(std::move(k)) {}
+  std::string kind;
+};
+
+/// Install the per-run watchdog. The event budget is checked first so that
+/// when both guards are armed the deterministic one wins the race; the
+/// wall-clock deadline exists purely to kill runaway runs and never feeds
+/// sim state. Failure messages mention only configured parameters (never
+/// elapsed time or event counts), so captured failures are byte-identical
+/// across jobs=1 and jobs=N.
+void arm_watchdog(Scenario& scenario, const RunGuards& guards) {
+  if (guards.max_events == 0 && guards.timeout_s <= 0.0) return;
+  core::Simulator& sim = scenario.simulator();
+  // NOLINT-vanet(wall-clock): watchdog deadline; aborts runaway runs, never feeds sim state
+  using WallClock = std::chrono::steady_clock;
+  const auto deadline =
+      WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                             std::chrono::duration<double>(guards.timeout_s));
+  const std::uint64_t max_events = guards.max_events;
+  const double timeout_s = guards.timeout_s;
+  sim.set_abort_check([&sim, deadline, max_events, timeout_s] {
+    if (max_events > 0 && sim.events_dispatched() >= max_events) {
+      throw GuardAbort{
+          "event-budget",
+          "event budget exceeded: max_events=" + std::to_string(max_events)};
+    }
+    // NOLINT-vanet(wall-clock): watchdog poll; aborts runaway runs, never feeds sim state
+    if (timeout_s > 0.0 && WallClock::now() >= deadline) {
+      throw GuardAbort{"timeout", "watchdog timeout: timeout_s=" +
+                                      format_double(timeout_s)};
+    }
+  }, max_events > 0 && max_events < 1024 ? max_events : 1024);
+}
+
+}  // namespace
+
+std::uint64_t derive_retry_seed(std::uint64_t seed, int attempt) {
+  if (attempt <= 0) return seed;
+  // SplitMix64 of the attempt'th step from `seed`: the standard finalizer,
+  // chosen because every distinct (seed, attempt) maps to an effectively
+  // independent master seed without any shared-state generator.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 std::vector<ExperimentCell> expand(const ExperimentSpec& spec) {
   if (spec.seeds.empty()) {
     throw std::invalid_argument("ExperimentSpec: seed list is empty");
+  }
+  if (spec.guards.timeout_s < 0.0) {
+    throw std::invalid_argument("ExperimentSpec: guards.timeout_s < 0");
+  }
+  if (spec.guards.retries < 0) {
+    throw std::invalid_argument("ExperimentSpec: guards.retries < 0");
   }
   std::vector<std::string> protocols = spec.protocols;
   if (protocols.empty()) protocols.push_back(spec.base.protocol);
@@ -161,15 +225,51 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
 
   // Results live at their matrix index; completion order is irrelevant.
   std::vector<ScenarioReport> reports(n_runs);
+  // Failure slots mirror the report slots: disjoint per-job writes, read
+  // only after the join (same threading contract as `reports`).
+  std::vector<std::optional<FailureRecord>> failures(n_runs);
 
   auto execute = [&](std::size_t job) {
     const std::size_t cell_idx = job / n_seeds;
     const std::size_t seed_idx = job % n_seeds;
-    ScenarioConfig cfg = cells[cell_idx].config;
-    cfg.seed = spec.seeds[seed_idx];
-    Scenario scenario{cfg};
-    scenario.run();
-    reports[job] = scenario.report();
+    const std::uint64_t base_seed = spec.seeds[seed_idx];
+    const int attempts = spec.guards.retries + 1;
+    std::string kind;
+    std::string error;
+    std::uint64_t last_seed = base_seed;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      last_seed = derive_retry_seed(base_seed, attempt);
+      try {
+        ScenarioConfig cfg = cells[cell_idx].config;
+        cfg.seed = last_seed;
+        Scenario scenario{cfg};
+        arm_watchdog(scenario, spec.guards);
+        scenario.run();
+        reports[job] = scenario.report();
+        return;  // success — no failure record for this job
+      } catch (const GuardAbort& e) {
+        if (!spec.guards.capture && attempt + 1 == attempts) throw;
+        kind = e.kind;
+        error = e.what();
+      } catch (const std::exception& e) {
+        if (!spec.guards.capture && attempt + 1 == attempts) throw;
+        kind = "exception";
+        error = e.what();
+      } catch (...) {
+        if (!spec.guards.capture && attempt + 1 == attempts) throw;
+        kind = "exception";
+        error = "unknown non-exception throw";
+      }
+    }
+    FailureRecord fail;
+    fail.protocol = cells[cell_idx].protocol;
+    fail.axes = cells[cell_idx].axes;
+    fail.seed = base_seed;
+    fail.last_seed = last_seed;
+    fail.attempts = attempts;
+    fail.kind = std::move(kind);
+    fail.error = std::move(error);
+    failures[job] = std::move(fail);
   };
 
   const int workers =
@@ -216,21 +316,32 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
   ExperimentResult result;
   result.cells.reserve(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    std::vector<ScenarioReport> cell_runs(
-        reports.begin() + static_cast<std::ptrdiff_t>(c * n_seeds),
-        reports.begin() + static_cast<std::ptrdiff_t>((c + 1) * n_seeds));
-    if (!sinks.empty()) {
-      // Per-run records (and their config copies/digests) are only worth
-      // building when someone is listening.
-      ScenarioConfig run_cfg = cells[c].config;
-      for (std::size_t s = 0; s < n_seeds; ++s) {
+    // Successful seeds aggregate; failed seeds become on_failure records.
+    // Both are visited in seed order, so the sink stream (and therefore
+    // every byte of output) is independent of worker scheduling.
+    std::vector<ScenarioReport> cell_runs;
+    cell_runs.reserve(n_seeds);
+    std::uint64_t cell_failed = 0;
+    ScenarioConfig run_cfg = cells[c].config;
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      const std::size_t job = c * n_seeds + s;
+      if (failures[job].has_value()) {
+        ++cell_failed;
+        for (ReportSink* sink : sinks) sink->on_failure(*failures[job]);
+        result.failures.push_back(std::move(*failures[job]));
+        continue;
+      }
+      cell_runs.push_back(reports[job]);
+      if (!sinks.empty()) {
+        // Per-run records (and their config copies/digests) are only worth
+        // building when someone is listening.
         RunRecord rec;
         rec.protocol = cells[c].protocol;
         rec.axes = cells[c].axes;
         rec.seed = spec.seeds[s];
         run_cfg.seed = spec.seeds[s];
         rec.config_digest = config_digest(run_cfg);
-        rec.report = cell_runs[s];
+        rec.report = reports[job];
         for (ReportSink* sink : sinks) sink->on_run(rec);
       }
     }
@@ -239,6 +350,7 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
     agg_rec.axes = cells[c].axes;
     agg_rec.config_digest = cells[c].digest;
     agg_rec.agg = aggregate_runs(cells[c].protocol, cell_runs);
+    agg_rec.failed_runs = cell_failed;
     for (ReportSink* sink : sinks) sink->on_aggregate(agg_rec);
     result.cells.push_back(std::move(agg_rec));
   }

@@ -31,6 +31,34 @@ struct SweepAxis {
   std::vector<std::string> values;
 };
 
+/// Crash-proofing knobs for each (cell, seed) run of a sweep.
+///
+/// With `capture` on (the default), a run that throws — bad config, protocol
+/// bug, watchdog abort — becomes a structured FailureRecord fed to every
+/// ReportSink instead of killing the whole sweep; the remaining runs still
+/// execute and aggregate. With `capture` off the engine keeps the legacy
+/// fail-fast contract: the first exception is rethrown on the calling thread
+/// after all workers join.
+///
+/// `timeout_s` arms a wall-clock watchdog per run attempt and `max_events` a
+/// simulator event budget; either tripping aborts the run with kind
+/// "timeout" / "event-budget". Both are polled every ~1024 dispatched
+/// events. The event budget trips deterministically (same event stream, same
+/// trip point) and its failure message mentions only the configured budget,
+/// so captured output is byte-identical across jobs=1 and jobs=N. The
+/// wall-clock watchdog never feeds sim state, so runs that survive it are
+/// unaffected. Zero disables each.
+///
+/// `retries` re-runs a failed attempt up to that many extra times, each with
+/// a fresh seed from derive_retry_seed(seed, attempt) — deterministic, so a
+/// retried sweep is still reproducible run-for-run.
+struct RunGuards {
+  bool capture = true;
+  double timeout_s = 0.0;
+  std::uint64_t max_events = 0;
+  int retries = 0;
+};
+
 struct ExperimentSpec {
   ScenarioConfig base;
   /// Protocols to compare (outermost dimension). Empty: just base.protocol.
@@ -44,7 +72,14 @@ struct ExperimentSpec {
   /// protocol through rsu_count.
   std::map<std::string, std::vector<std::pair<std::string, std::string>>>
       protocol_overrides;
+  /// Failure capture / watchdog / retry policy (see RunGuards).
+  RunGuards guards;
 };
+
+/// Seed for retry attempt `attempt` (attempt 0 is the original seed).
+/// SplitMix64 of (seed, attempt): deterministic, well-mixed, and never
+/// collides with the original seed stream for attempt > 0 in practice.
+std::uint64_t derive_retry_seed(std::uint64_t seed, int attempt);
 
 /// One cell of the expanded matrix (a fully resolved config minus the seed).
 struct ExperimentCell {
@@ -60,6 +95,9 @@ std::vector<ExperimentCell> expand(const ExperimentSpec& spec);
 
 struct ExperimentResult {
   std::vector<AggregateRecord> cells;  ///< matrix order
+  /// Runs that failed every attempt, matrix order. Empty unless the spec's
+  /// guards captured failures (guards.capture and something actually broke).
+  std::vector<FailureRecord> failures;
 };
 
 /// Threading contract (ThreadSanitizer-enforced — the CI tsan job runs the

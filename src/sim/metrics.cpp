@@ -2,9 +2,10 @@
 
 namespace vanet::sim {
 
-void Metrics::record_originated(std::uint32_t flow) {
+void Metrics::record_originated(std::uint32_t flow, core::SimTime now) {
   ++originated_;
   ++flows_[flow].originated;
+  if (fault_tracking_) origination_times_.push_back(now);
 }
 
 bool Metrics::record_delivery(std::uint32_t flow, std::uint32_t seq,
@@ -17,6 +18,7 @@ bool Metrics::record_delivery(std::uint32_t flow, std::uint32_t seq,
     return false;
   }
   ++delivered_;
+  if (fault_tracking_) first_delivery_sent_times_.push_back(sent_at);
   const double delay = (now - sent_at).as_millis();
   delay_ms_.add(delay);
   hops_.add(static_cast<double>(hops));

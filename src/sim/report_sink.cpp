@@ -18,6 +18,7 @@ std::string num(double v) { return format_double(v); }
 ReportSink::~ReportSink() = default;
 void ReportSink::begin(const std::vector<std::string>&) {}
 void ReportSink::on_run(const RunRecord&) {}
+void ReportSink::on_failure(const FailureRecord&) {}
 void ReportSink::on_aggregate(const AggregateRecord&) {}
 void ReportSink::end() {}
 
@@ -26,6 +27,7 @@ void ReportSink::end() {}
 void MarkdownSink::begin(const std::vector<std::string>& axis_keys) {
   axis_keys_ = axis_keys;
   rows_.clear();
+  failure_lines_.clear();
 }
 
 void MarkdownSink::on_aggregate(const AggregateRecord& rec) {
@@ -48,6 +50,17 @@ void MarkdownSink::on_aggregate(const AggregateRecord& rec) {
   rows_.push_back(std::move(row));
 }
 
+void MarkdownSink::on_failure(const FailureRecord& rec) {
+  std::string line = "FAILED " + rec.protocol;
+  for (const auto& [key, value] : rec.axes) {
+    line += " " + key + "=" + value;
+  }
+  line += " seed=" + std::to_string(rec.seed) +
+          " attempts=" + std::to_string(rec.attempts) + " [" + rec.kind +
+          "]: " + rec.error;
+  failure_lines_.push_back(std::move(line));
+}
+
 void MarkdownSink::end() {
   std::vector<std::string> headers;
   headers.push_back("protocol");
@@ -58,6 +71,9 @@ void MarkdownSink::end() {
   Table table(std::move(headers));
   for (auto& row : rows_) table.add_row(std::move(row));
   table.print(out_);
+  // Failures go after the table so a clean sweep prints exactly the classic
+  // output; a dirty one still shows every healthy row.
+  for (const std::string& line : failure_lines_) out_ << line << '\n';
 }
 
 // ------------------------------------------------------------------ csv ---
@@ -70,6 +86,17 @@ void CsvSink::begin(const std::vector<std::string>& axis_keys) {
           "control_per_delivered,collision_fraction,reachable_fraction,"
           "route_breaks_mean,discoveries_mean,originated,delivered,"
           "config_digest\n";
+}
+
+void CsvSink::on_failure(const FailureRecord& rec) {
+  // Comment line, not a data row: parsers that split on ',' and skip '#'
+  // keep working, and a clean sweep emits no extra bytes at all.
+  out_ << "# failed," << rec.protocol;
+  for (const auto& [key, value] : rec.axes) {
+    (void)key;
+    out_ << ',' << value;
+  }
+  out_ << ',' << rec.seed << ',' << rec.kind << ',' << rec.error << '\n';
 }
 
 void CsvSink::on_aggregate(const AggregateRecord& rec) {
@@ -128,6 +155,16 @@ void JsonlSink::on_run(const RunRecord& rec) {
        << ",\"discoveries\":" << r.discoveries << "}\n";
 }
 
+void JsonlSink::on_failure(const FailureRecord& rec) {
+  out_ << "{\"type\":\"failure\",\"protocol\":\"" << json_escape(rec.protocol)
+       << "\",\"axes\":";
+  write_axes(out_, rec.axes);
+  out_ << ",\"seed\":" << rec.seed << ",\"last_seed\":" << rec.last_seed
+       << ",\"attempts\":" << rec.attempts << ",\"kind\":\""
+       << json_escape(rec.kind) << "\",\"error\":\"" << json_escape(rec.error)
+       << "\"}\n";
+}
+
 void JsonlSink::on_aggregate(const AggregateRecord& rec) {
   const AggregateReport& a = rec.agg;
   out_ << "{\"type\":\"aggregate\",\"protocol\":\"" << json_escape(rec.protocol)
@@ -144,7 +181,11 @@ void JsonlSink::on_aggregate(const AggregateRecord& rec) {
        << ",\"route_breaks_mean\":" << num(a.route_breaks.mean())
        << ",\"discoveries_mean\":" << num(a.discoveries.mean())
        << ",\"originated\":" << a.total_originated
-       << ",\"delivered\":" << a.total_delivered << "}\n";
+       << ",\"delivered\":" << a.total_delivered;
+  // Only mention failures when there are any — a healthy sweep's JSONL is
+  // byte-identical to pre-fault-capture output.
+  if (rec.failed_runs > 0) out_ << ",\"failed_runs\":" << rec.failed_runs;
+  out_ << "}\n";
 }
 
 std::string json_escape(const std::string& s) {

@@ -37,6 +37,24 @@ struct AggregateRecord {
   std::vector<std::pair<std::string, std::string>> axes;
   std::string config_digest;  ///< digest of the cell config with seed=0
   AggregateReport agg;
+  /// Seeds of this cell that failed every attempt (RunGuards capture mode).
+  /// Zero on the classic all-healthy path, so sinks that only mention
+  /// failures when failed_runs > 0 stay byte-identical to older output.
+  std::uint64_t failed_runs = 0;
+};
+
+/// One (cell, seed) run that failed every attempt. `seed` is the requested
+/// matrix seed; `last_seed` is the derived seed of the final retry (equal to
+/// `seed` when no retries were configured). `kind` is one of "exception",
+/// "timeout" or "event-budget"; `error` is the human-readable detail.
+struct FailureRecord {
+  std::string protocol;
+  std::vector<std::pair<std::string, std::string>> axes;
+  std::uint64_t seed = 0;
+  std::uint64_t last_seed = 0;
+  int attempts = 1;
+  std::string kind;
+  std::string error;
 };
 
 class ReportSink {
@@ -46,6 +64,10 @@ class ReportSink {
   /// Called once before any records, with the sweep-axis keys in order.
   virtual void begin(const std::vector<std::string>& axis_keys);
   virtual void on_run(const RunRecord& rec);
+  /// Called for each failed (cell, seed) run, in matrix order, interleaved
+  /// with the cell's on_run calls (successes and failures keep seed order).
+  /// Default: no-op, so sinks that predate fault capture are unaffected.
+  virtual void on_failure(const FailureRecord& rec);
   virtual void on_aggregate(const AggregateRecord& rec);
   /// Called once after all records.
   virtual void end();
@@ -59,10 +81,13 @@ class MarkdownSink final : public ReportSink {
   void on_aggregate(const AggregateRecord& rec) override;
   void end() override;
 
+  void on_failure(const FailureRecord& rec) override;
+
  private:
   std::ostream& out_;
   std::vector<std::string> axis_keys_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> failure_lines_;
 };
 
 /// RFC-4180-ish CSV, one row per aggregate; header emitted in begin().
@@ -70,6 +95,7 @@ class CsvSink final : public ReportSink {
  public:
   explicit CsvSink(std::ostream& out) : out_(out) {}
   void begin(const std::vector<std::string>& axis_keys) override;
+  void on_failure(const FailureRecord& rec) override;
   void on_aggregate(const AggregateRecord& rec) override;
 
  private:
@@ -83,6 +109,7 @@ class JsonlSink final : public ReportSink {
   explicit JsonlSink(std::ostream& out, bool include_runs = false)
       : out_(out), include_runs_(include_runs) {}
   void on_run(const RunRecord& rec) override;
+  void on_failure(const FailureRecord& rec) override;
   void on_aggregate(const AggregateRecord& rec) override;
 
  private:

@@ -41,6 +41,9 @@ AggregateReport run_seeds(const ScenarioConfig& base,
   ExperimentSpec spec;
   spec.base = base;
   spec.seeds = seeds;
+  // Legacy contract: run_seeds throws on a bad run (callers predate failure
+  // capture and have no way to inspect ExperimentResult.failures).
+  spec.guards.capture = false;
   ExperimentEngine engine{1};
   ExperimentResult result = engine.run(spec);
   return std::move(result.cells.at(0).agg);

@@ -7,6 +7,7 @@
 
 #include "core/assert.h"
 #include "map/builders.h"
+#include "net/fading.h"
 
 namespace vanet::sim {
 
@@ -52,6 +53,19 @@ std::string canonical_report_string(const ScenarioReport& r) {
   append_field(out, "preemptive_rebuilds", r.preemptive_rebuilds);
   append_field(out, "predicted_lifetime_mean_s", r.predicted_lifetime_mean_s);
   append_field(out, "observed_lifetime_mean_s", r.observed_lifetime_mean_s);
+  // Fault fields only exist in the canonical form of faulted runs: a report
+  // with fault_enabled=false serializes byte-identically to a pre-fault
+  // build, which is what keeps the historical golden digests valid.
+  if (r.fault_enabled) {
+    append_field(out, "faulted_originated", r.faulted_originated);
+    append_field(out, "faulted_delivered", r.faulted_delivered);
+    append_field(out, "pdr_under_fault", r.pdr_under_fault);
+    append_field(out, "node_outages", r.node_outages);
+    append_field(out, "node_restarts", r.node_restarts);
+    append_field(out, "segment_blocks", r.segment_blocks);
+    append_field(out, "frames_dropped_down", r.frames_dropped_down);
+    append_field(out, "recovery_latency_mean_s", r.recovery_latency_mean_s);
+  }
   return out;
 }
 
@@ -74,6 +88,7 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} 
   build_support();
   build_protocols();
   build_traffic();
+  build_faults();
 }
 
 void Scenario::build_map() {
@@ -151,6 +166,7 @@ void Scenario::build_mobility() {
     auto graph =
         std::make_unique<mobility::GraphMobilityModel>(road_graph_, cfg_.graph);
     graph->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
+    graph_model_ = graph.get();
     model = std::move(graph);
   } else {
     if (cfg_.map.source == MapSource::kFile) validate_trace_against_map();
@@ -171,10 +187,22 @@ void Scenario::build_mobility() {
 
 void Scenario::build_network() {
   std::unique_ptr<net::PropagationModel> propagation;
-  if (cfg_.shadowing) {
-    propagation = std::make_unique<net::LogNormalShadowingModel>(cfg_.signal);
-  } else {
-    propagation = std::make_unique<net::UnitDiskModel>(cfg_.comm_range_m);
+  switch (cfg_.phy) {
+    case PhyModel::kShadowing:
+      propagation = std::make_unique<net::LogNormalShadowingModel>(cfg_.signal);
+      break;
+    case PhyModel::kNakagami:
+      // Thrown (not asserted): a bad sweep axis must become a structured
+      // failure row in the experiment engine, not a process abort.
+      if (cfg_.nakagami_m < 1) {
+        throw std::invalid_argument("phy.nakagami_m must be >= 1");
+      }
+      propagation =
+          std::make_unique<net::NakagamiFadingModel>(cfg_.signal, cfg_.nakagami_m);
+      break;
+    case PhyModel::kUnitDisk:
+      propagation = std::make_unique<net::UnitDiskModel>(cfg_.comm_range_m);
+      break;
   }
   net_ = std::make_unique<net::Network>(sim_, mobility_.get(),
                                         std::move(propagation),
@@ -374,6 +402,17 @@ void Scenario::build_traffic() {
                                           rngs_.stream("traffic"), cfg_.traffic);
 }
 
+void Scenario::build_faults() {
+  // Disabled means *nothing* happens: the "fault" stream is never derived,
+  // no event is scheduled and metrics keep their lean path — provably
+  // bit-identical to a build without the fault subsystem.
+  if (!cfg_.fault.enabled) return;
+  fault_plan_ = std::make_unique<FaultPlan>(sim_, *net_, graph_model_,
+                                            rngs_.stream("fault"), cfg_.fault,
+                                            cfg_.duration_s);
+  metrics_.set_fault_tracking(true);
+}
+
 void Scenario::sample_reachability() {
   const auto& flows = traffic_->flows();
   if (!flows.empty()) {
@@ -396,6 +435,7 @@ void Scenario::run() {
   if (hello_) hello_->start();
   for (auto& p : protocols_) p->start();
   traffic_->start();
+  if (fault_plan_) fault_plan_->start();
   if (cfg_.sample_reachability) {
     // Sample over the traffic window only (flows exist after start()).
     sim_.schedule(core::SimTime::seconds(cfg_.traffic.start_s),
@@ -440,6 +480,28 @@ ScenarioReport Scenario::report() const {
   r.preemptive_rebuilds = events_.preemptive_rebuilds;
   r.predicted_lifetime_mean_s = events_.predicted_route_lifetime.mean();
   r.observed_lifetime_mean_s = events_.observed_route_lifetime.mean();
+  if (fault_plan_) {
+    r.fault_enabled = true;
+    // Classify both sides of the delivery ledger by *send* time against the
+    // completed fault timeline (see Metrics::set_fault_tracking).
+    for (const core::SimTime t : metrics_.origination_times()) {
+      if (fault_plan_->fault_active_at(t)) ++r.faulted_originated;
+    }
+    for (const core::SimTime t : metrics_.first_delivery_sent_times()) {
+      if (fault_plan_->fault_active_at(t)) ++r.faulted_delivered;
+    }
+    r.pdr_under_fault =
+        r.faulted_originated > 0
+            ? static_cast<double>(r.faulted_delivered) /
+                  static_cast<double>(r.faulted_originated)
+            : 0.0;
+    const FaultCounters& fc = fault_plan_->counters();
+    r.node_outages = fc.node_outages;
+    r.node_restarts = fc.node_restarts;
+    r.segment_blocks = fc.segment_blocks;
+    r.frames_dropped_down = c.frames_dropped_down;
+    r.recovery_latency_mean_s = net_->recovery_latency().mean();
+  }
   return r;
 }
 

@@ -22,12 +22,17 @@
 #include "net/hello.h"
 #include "net/network.h"
 #include "routing/registry.h"
+#include "sim/fault_plan.h"
 #include "sim/metrics.h"
 #include "sim/traffic.h"
 
 namespace vanet::sim {
 
 enum class MobilityKind { kHighway, kManhattan, kTrace, kGraph };
+
+/// Radio model (`phy.model` key): deterministic unit disk, log-normal
+/// shadowing (slow fading), or Nakagami-m (fast fading) — see net/fading.h.
+enum class PhyModel { kUnitDisk, kShadowing, kNakagami };
 
 /// Where the scenario's road topology (map::RoadGraph) comes from.
 enum class MapSource {
@@ -67,9 +72,17 @@ struct ScenarioConfig {
   mobility::Trace trace;
 
   double comm_range_m = 250.0;      ///< unit-disk range
-  bool shadowing = false;           ///< use log-normal shadowing instead
-  analysis::LogNormalParams signal; ///< shadowing parameters (and REAR model)
+  /// Lossy-PHY selector. The legacy `shadowing` bool key reads/writes the
+  /// kUnitDisk/kShadowing subset of this for config compatibility.
+  PhyModel phy = PhyModel::kUnitDisk;
+  int nakagami_m = 3;               ///< Nakagami shape (phy.model=nakagami)
+  analysis::LogNormalParams signal; ///< shadowing/fading params (and REAR model)
   net::NetworkConfig net;
+
+  /// Deterministic fault injection (`fault.*` keys; sim/fault_plan.h). With
+  /// enabled=false nothing is constructed: no "fault" RNG stream, no events,
+  /// runs bit-identical to a fault-free build.
+  FaultConfig fault;
 
   int rsu_count = 0;                ///< evenly placed roadside units
   int bus_count = 0;                ///< vehicles designated as message ferries
@@ -132,6 +145,19 @@ struct ScenarioReport {
   std::uint64_t preemptive_rebuilds = 0;
   double predicted_lifetime_mean_s = 0.0;
   double observed_lifetime_mean_s = 0.0;
+
+  /// Fault-injection results. Appended to the canonical string — and hence
+  /// the digest — only when fault_enabled, so every pre-fault digest stays
+  /// byte-identical with the fault layer compiled in and disabled.
+  bool fault_enabled = false;
+  std::uint64_t faulted_originated = 0;  ///< sent while a fault was active
+  std::uint64_t faulted_delivered = 0;   ///< of those, delivered
+  double pdr_under_fault = 0.0;
+  std::uint64_t node_outages = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t segment_blocks = 0;
+  std::uint64_t frames_dropped_down = 0;
+  double recovery_latency_mean_s = 0.0;  ///< restart -> first decoded frame
 };
 
 /// Canonical, lossless textual form of a report: every field on one
@@ -165,6 +191,10 @@ class Scenario {
   }
   const CbrTraffic& traffic() const { return *traffic_; }
   const ScenarioConfig& config() const { return cfg_; }
+  /// Null unless `fault.enabled=true`.
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+  /// Null unless the scenario uses graph mobility.
+  mobility::GraphMobilityModel* graph_model() { return graph_model_; }
   std::size_t vehicle_count() const { return vehicle_count_; }
   /// The shared road topology (mobility + routing both reference it).
   const map::RoadGraph& road_graph() const { return *road_graph_; }
@@ -186,6 +216,7 @@ class Scenario {
   void build_support();
   void build_protocols();
   void build_traffic();
+  void build_faults();
   void update_density();
   void schedule_density_updates();
   void sample_reachability();
@@ -200,6 +231,10 @@ class Scenario {
   routing::ProtocolEvents events_;
   Metrics metrics_;
   std::unique_ptr<CbrTraffic> traffic_;
+  std::unique_ptr<FaultPlan> fault_plan_;
+  /// Borrowed view of the mobility model when it is graph-based (the manager
+  /// owns it); the fault plan drives segment blocks through it.
+  mobility::GraphMobilityModel* graph_model_ = nullptr;
   std::size_t vehicle_count_ = 0;
 
   std::shared_ptr<map::RoadGraph> road_graph_;

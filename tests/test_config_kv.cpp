@@ -36,9 +36,9 @@ TEST(ConfigKv, GetReflectsSet) {
   EXPECT_EQ(cfg.traffic.flows, 17);
 
   config_set(cfg, "shadowing", "true");
-  EXPECT_TRUE(cfg.shadowing);
+  EXPECT_EQ(cfg.phy, PhyModel::kShadowing);
   config_set(cfg, "shadowing", "0");
-  EXPECT_FALSE(cfg.shadowing);
+  EXPECT_EQ(cfg.phy, PhyModel::kUnitDisk);
 
   config_set(cfg, "mobility", "manhattan");
   EXPECT_EQ(cfg.mobility, MobilityKind::kManhattan);
@@ -178,7 +178,7 @@ TEST(ConfigKv, SerializeParseRoundTrip) {
   cfg.vehicles = 64;
   cfg.vehicles_per_direction = 13;  // differs from `vehicles` on purpose
   cfg.comm_range_m = 175.5;
-  cfg.shadowing = true;
+  cfg.phy = PhyModel::kShadowing;
   cfg.protocol = "greedy";
   cfg.traffic.rate_pps = 0.1;
   cfg.traffic.payload_bytes = 256;
@@ -197,7 +197,7 @@ TEST(ConfigKv, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed.mobility, MobilityKind::kManhattan);
   EXPECT_EQ(parsed.vehicles, 64);
   EXPECT_EQ(parsed.vehicles_per_direction, 13);
-  EXPECT_TRUE(parsed.shadowing);
+  EXPECT_EQ(parsed.phy, PhyModel::kShadowing);
   EXPECT_EQ(parsed.protocol, "greedy");
   EXPECT_DOUBLE_EQ(parsed.traffic.rate_pps, 0.1);
   EXPECT_EQ(parsed.traffic.payload_bytes, 256u);
@@ -240,6 +240,51 @@ TEST(ConfigKv, GeometryModeKeysParseLineAndRouteOnly) {
   EXPECT_DOUBLE_EQ(cfg.map.trace_tolerance_m, 12.5);
   config_set(cfg, "density.incremental", "false");
   EXPECT_FALSE(cfg.density_incremental);
+}
+
+TEST(ConfigKv, PhyModelKeyAndShadowingAlias) {
+  ScenarioConfig cfg;
+  EXPECT_EQ(config_get(cfg, "phy.model"), "unitdisk");
+  EXPECT_EQ(config_get(cfg, "shadowing"), "false");
+  config_set(cfg, "phy.model", "nakagami");
+  EXPECT_EQ(cfg.phy, PhyModel::kNakagami);
+  // The legacy bool reads "is the PHY the shadowing model".
+  EXPECT_EQ(config_get(cfg, "shadowing"), "false");
+  config_set(cfg, "phy.model", "shadowing");
+  EXPECT_EQ(config_get(cfg, "shadowing"), "true");
+  EXPECT_THROW(config_set(cfg, "phy.model", "rician"), std::invalid_argument);
+  config_set(cfg, "phy.nakagami_m", "5");
+  EXPECT_EQ(cfg.nakagami_m, 5);
+  EXPECT_THROW(config_set(cfg, "phy.nakagami_m", "0"), std::invalid_argument);
+  EXPECT_THROW(config_set(cfg, "phy.nakagami_m", "-1"), std::invalid_argument);
+
+  // A nakagami selection survives the round trip even though the legacy
+  // `shadowing` alias serializes first (phy.model re-settles it on parse).
+  ScenarioConfig naka;
+  naka.phy = PhyModel::kNakagami;
+  naka.nakagami_m = 2;
+  const ScenarioConfig parsed = parse_config(serialize_config(naka));
+  EXPECT_EQ(parsed.phy, PhyModel::kNakagami);
+  EXPECT_EQ(parsed.nakagami_m, 2);
+}
+
+TEST(ConfigKv, FaultKeysRoundTrip) {
+  ScenarioConfig cfg;
+  EXPECT_EQ(config_get(cfg, "fault.enabled"), "false");
+  config_set(cfg, "fault.enabled", "true");
+  config_set(cfg, "fault.plan", "node:3:10:60;seg:2:15");
+  config_set(cfg, "fault.vehicle_mtbf_s", "120");
+  config_set(cfg, "fault.rsu_downtime_s", "33.5");
+  EXPECT_TRUE(cfg.fault.enabled);
+  EXPECT_EQ(cfg.fault.plan, "node:3:10:60;seg:2:15");
+  EXPECT_DOUBLE_EQ(cfg.fault.vehicle_mtbf_s, 120.0);
+  EXPECT_DOUBLE_EQ(cfg.fault.rsu_downtime_s, 33.5);
+  const ScenarioConfig parsed = parse_config(serialize_config(cfg));
+  EXPECT_TRUE(parsed.fault.enabled);
+  EXPECT_EQ(parsed.fault.plan, "node:3:10:60;seg:2:15");
+  EXPECT_DOUBLE_EQ(parsed.fault.vehicle_mtbf_s, 120.0);
+  EXPECT_DOUBLE_EQ(parsed.fault.rsu_downtime_s, 33.5);
+  EXPECT_NE(config_digest(parsed), config_digest(ScenarioConfig{}));
 }
 
 TEST(ConfigKv, ParseSkipsCommentsAndRejectsGarbage) {

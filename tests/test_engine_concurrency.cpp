@@ -92,6 +92,9 @@ TEST(EngineConcurrency, WorkerExceptionPropagatesToCaller) {
   spec.base.map.file = "/nonexistent/engine_concurrency_map.csv";
   spec.protocols = {"aodv"};
   spec.axes.clear();
+  // Fail-fast mode: with capture on (the default) the engine would turn this
+  // into a FailureRecord instead of throwing.
+  spec.guards.capture = false;
 
   EXPECT_THROW(ExperimentEngine{4}.run(spec), std::runtime_error);
   EXPECT_THROW(ExperimentEngine{1}.run(spec), std::runtime_error);

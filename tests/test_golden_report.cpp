@@ -48,7 +48,7 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     cfg.duration_s = 15.0;
     cfg.mobility = MobilityKind::kManhattan;
     cfg.vehicles = 30;
-    cfg.shadowing = true;
+    cfg.phy = PhyModel::kShadowing;
     cfg.protocol = "greedy";
     cfg.traffic.stop_s = 15.0;
     configs["manhattan-greedy-shadowing"] = cfg;
@@ -109,6 +109,58 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     cfg.lifetime_interp = true;
     cfg.traffic.stop_s = 15.0;
     configs["town-gvgrid-interp"] = cfg;
+  }
+  {
+    // Nakagami-m fast fading (phy.model=nakagami): pins the Gamma-tail
+    // receipt probability and its bracketing of nominal/max range.
+    ScenarioConfig cfg;
+    cfg.seed = 1337;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.vehicles = 30;
+    cfg.phy = PhyModel::kNakagami;
+    cfg.protocol = "yan";
+    cfg.traffic.stop_s = 15.0;
+    configs["manhattan-yan-nakagami"] = cfg;
+  }
+  {
+    // Full fault stack on an imported map: planned node outage + road
+    // incident + seeded vehicle churn over graph mobility. Pins the "fault"
+    // RNG stream, the blocked-segment replanner, the down-node MAC path and
+    // the fault-classified metrics (the fault_* report fields).
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = 30;
+    cfg.protocol = "aodv";
+    cfg.fault.enabled = true;
+    cfg.fault.plan = "node:2:3:9; seg:1:4:11";
+    cfg.fault.vehicle_mtbf_s = 30.0;
+    cfg.fault.vehicle_downtime_s = 4.0;
+    cfg.traffic.stop_s = 15.0;
+    configs["town-churn-incident"] = cfg;
+  }
+  {
+    // Faults on a lossy channel: shadowing + churn (vehicles and the RSUs).
+    // Pins the interaction of fading draws with down-node receptions.
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.vehicles = 30;
+    cfg.rsu_count = 2;
+    cfg.phy = PhyModel::kShadowing;
+    cfg.protocol = "greedy";
+    cfg.fault.enabled = true;
+    cfg.fault.vehicle_mtbf_s = 25.0;
+    cfg.fault.vehicle_downtime_s = 5.0;
+    cfg.fault.rsu_mtbf_s = 40.0;
+    cfg.fault.rsu_downtime_s = 6.0;
+    cfg.traffic.stop_s = 15.0;
+    configs["manhattan-shadowing-fault"] = cfg;
   }
   return configs;
 }

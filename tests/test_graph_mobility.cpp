@@ -125,5 +125,75 @@ TEST(GraphMobility, RejectsDegenerateGraphs) {
                "isolated intersection");
 }
 
+// --- fault support: blocked segments (driven by sim::FaultPlan) ------------
+
+TEST(GraphMobility, BlockedSegmentDrainsAndStaysAvoided) {
+  // A single blocked segment never isolates a lattice intersection (degree
+  // >= 2 everywhere), so after vehicles finish the edge they were already
+  // driving, nobody may re-enter it — while the on-edge invariant holds
+  // throughout.
+  const auto graph = std::make_shared<const map::RoadGraph>(5, 4, 150.0);
+  GraphMobilityConfig cfg;
+  cfg.replan_prob = 0.2;
+  cfg.min_trip_m = 200.0;
+  GraphMobilityModel m{graph, cfg};
+  core::Rng rng{7};
+  m.populate(30, rng);
+
+  const int blocked = 0;
+  EXPECT_FALSE(m.segment_blocked(blocked));
+  m.set_segment_blocked(blocked, true);
+  EXPECT_TRUE(m.segment_blocked(blocked));
+  m.set_segment_blocked(blocked, true);  // idempotent
+  EXPECT_TRUE(m.segment_blocked(blocked));
+
+  for (int tick = 0; tick < 600; ++tick) {
+    m.step(0.1, rng);
+    for (const auto& v : m.vehicles()) {
+      ASSERT_LT(distance_to_current_segment(m, v), 1e-6)
+          << "vehicle " << v.id << " left its road at tick " << tick;
+    }
+    if (tick >= 300) {
+      // 30 s in: every pre-block traversal (150 m at >= 5 m/s) is long done.
+      for (const auto& v : m.vehicles()) {
+        ASSERT_NE(m.current_segment(v.id), blocked)
+            << "vehicle " << v.id << " entered the blocked road at tick "
+            << tick;
+      }
+    }
+  }
+
+  // Clearing restores the segment to the route planner.
+  m.set_segment_blocked(blocked, false);
+  EXPECT_FALSE(m.segment_blocked(blocked));
+  for (int tick = 0; tick < 100; ++tick) {
+    m.step(0.1, rng);
+    for (const auto& v : m.vehicles()) {
+      ASSERT_LT(distance_to_current_segment(m, v), 1e-6);
+    }
+  }
+}
+
+TEST(GraphMobility, BlockingDoesNotMoveOrTeleportVehicles) {
+  const auto graph = triangle_graph();
+  GraphMobilityModel m{graph, {}};
+  core::Rng rng{11};
+  m.populate(10, rng);
+  std::vector<core::Vec2> before;
+  for (const auto& v : m.vehicles()) before.push_back(v.pos);
+  m.set_segment_blocked(1, true);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(m.vehicles()[i].pos.x, before[i].x);
+    EXPECT_EQ(m.vehicles()[i].pos.y, before[i].y);
+  }
+  // One small step: everyone still on a road, nobody jumped.
+  m.step(0.1, rng);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto& v = m.vehicles()[i];
+    ASSERT_LT(distance_to_current_segment(m, v), 1e-6);
+    EXPECT_LT((v.pos - before[i]).norm(), 5.0);  // <= top speed * 0.1 s slack
+  }
+}
+
 }  // namespace
 }  // namespace vanet::mobility

@@ -147,5 +147,15 @@ TEST(MapIo, MalformedInputRejected) {
   expect_rejected("node,0,3,4\nnode,1,3,4\nedge,0,1\n", "zero-length");
 }
 
+// Diagnostics must name the offending 1-based source line — blank lines and
+// comments count, so the number matches what an editor shows.
+TEST(MapIo, MalformedInputNamesTheLine) {
+  expect_rejected("node,0,0,0\nnode,1,1,1\nedge,0,1\nbogus,1,2\n", "line 4:");
+  expect_rejected("# header comment\n\nnode,0,0\n", "line 3:");
+  expect_rejected("node,0,0,0\nnode,1,1,1\nedge,0,q\n", "line 3:");
+  expect_rejected("node,0,0,0\nnode,0,1,1\n", "line 2:");
+  expect_rejected("node,8000000000,0,0\n", "line 1:");
+}
+
 }  // namespace
 }  // namespace vanet::map

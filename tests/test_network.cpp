@@ -246,5 +246,69 @@ TEST(Network, PositionVelocityAccessors) {
   EXPECT_EQ(net.rsu_ids(), (std::vector<NodeId>{1}));
 }
 
+// --- fault support: down nodes (driven by sim::FaultPlan) ------------------
+
+TEST(Network, DownReceiverDecodesNothing) {
+  StaticNet t{{{0.0, 0.0}, {80.0, 0.0}, {90.0, 30.0}}};
+  t.net->set_node_up(1, false);
+  EXPECT_FALSE(t.net->node_up(1));
+  t.net->send(0, t.make_packet());
+  t.sim.run_until(core::SimTime::seconds(1.0));
+  EXPECT_EQ(t.received[1].size(), 0u);  // down: radio off
+  EXPECT_EQ(t.received[2].size(), 1u);  // unaffected neighbour
+  t.net->set_node_up(1, true);
+  t.net->send(0, t.make_packet());
+  t.sim.run_until(core::SimTime::seconds(2.0));
+  EXPECT_EQ(t.received[1].size(), 1u);  // back up: decodes again
+}
+
+TEST(Network, DownSenderDropsFramesAndCountsThem) {
+  StaticNet t{{{0.0, 0.0}, {80.0, 0.0}}};
+  t.net->set_node_up(0, false);
+  t.net->send(0, t.make_packet());
+  t.net->send(0, t.make_packet());
+  t.sim.run_until(core::SimTime::seconds(1.0));
+  EXPECT_EQ(t.received[1].size(), 0u);
+  EXPECT_EQ(t.net->counters().frames_sent, 0u);
+  EXPECT_EQ(t.net->counters().frames_dropped_down, 2u);
+}
+
+TEST(Network, CrashMidTransmissionAbortsTheFrame) {
+  StaticNet t{{{0.0, 0.0}, {80.0, 0.0}}};
+  t.net->send(0, t.make_packet());
+  // The frame is in flight (tx takes ~ size/bitrate); crash the sender
+  // before it completes — the receiver must never decode it.
+  t.net->set_node_up(0, false);
+  t.sim.run_until(core::SimTime::seconds(1.0));
+  EXPECT_EQ(t.received[1].size(), 0u);
+  EXPECT_EQ(t.net->counters().receptions_ok, 0u);
+}
+
+TEST(Network, RestartRecordsRecoveryLatency) {
+  StaticNet t{{{0.0, 0.0}, {80.0, 0.0}}};
+  t.net->set_node_up(1, false);
+  t.sim.run_until(core::SimTime::seconds(1.0));
+  t.net->set_node_up(1, true);  // restart at t = 1 s
+  t.net->send(0, t.make_packet());
+  t.sim.run_until(core::SimTime::seconds(2.0));
+  ASSERT_EQ(t.received[1].size(), 1u);
+  // Recovery latency = restart -> first decoded frame (the tx duration,
+  // a few ms at 64 bytes); exactly one sample, short but nonzero.
+  EXPECT_EQ(t.net->recovery_latency().count(), 1u);
+  EXPECT_GT(t.net->recovery_latency().mean(), 0.0);
+  EXPECT_LT(t.net->recovery_latency().mean(), 1.0);
+}
+
+TEST(Network, ReachabilityIgnoresDownNodes) {
+  // Chain 0-1-2 with 80 m spacing; node 1 is the only relay.
+  StaticNet t{{{0.0, 0.0}, {80.0, 0.0}, {160.0, 0.0}}};
+  EXPECT_TRUE(t.net->reachable(0, 2, 100.0));
+  t.net->set_node_up(1, false);
+  EXPECT_FALSE(t.net->reachable(0, 2, 100.0));
+  EXPECT_FALSE(t.net->reachable(0, 1, 100.0));  // down endpoint
+  t.net->set_node_up(1, true);
+  EXPECT_TRUE(t.net->reachable(0, 2, 100.0));
+}
+
 }  // namespace
 }  // namespace vanet::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fading.h"
+
 namespace vanet::net {
 namespace {
 
@@ -49,6 +51,60 @@ TEST(Shadowing, EmpiricalRateTracksAnalytic) {
 TEST(Shadowing, HalfProbabilityAtNominalRange) {
   LogNormalShadowingModel m{};
   EXPECT_NEAR(m.receipt_probability(m.nominal_range()), 0.5, 1e-9);
+}
+
+TEST(Nakagami, RangesOrderedAndHalfProbabilityAtNominal) {
+  NakagamiFadingModel m{};
+  EXPECT_GT(m.max_range(), m.nominal_range());
+  EXPECT_GT(m.nominal_range(), 50.0);
+  // nominal_range is defined as the 50% receipt distance for every lossy
+  // model, whatever the fading family.
+  EXPECT_NEAR(m.receipt_probability(m.nominal_range()), 0.5, 1e-6);
+}
+
+TEST(Nakagami, NeverReceivesBeyondMaxRange) {
+  NakagamiFadingModel m{};
+  core::Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(m.try_receive(m.max_range() + 1.0, rng));
+  }
+}
+
+TEST(Nakagami, EmpiricalRateTracksAnalytic) {
+  NakagamiFadingModel m{};
+  core::Rng rng{5};
+  for (double frac : {0.5, 1.0, 1.3}) {
+    const double d = m.nominal_range() * frac;
+    int ok = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      if (m.try_receive(d, rng)) ++ok;
+    }
+    EXPECT_NEAR(static_cast<double>(ok) / n, m.receipt_probability(d), 0.015)
+        << "frac=" << frac;
+  }
+}
+
+TEST(Nakagami, ProbabilityMonotoneInDistance) {
+  NakagamiFadingModel m{};
+  double prev = 1.0;
+  for (double d = 10.0; d < m.max_range(); d += 10.0) {
+    const double p = m.receipt_probability(d);
+    EXPECT_LE(p, prev + 1e-12) << "d=" << d;
+    prev = p;
+  }
+}
+
+TEST(Nakagami, LargerShapeIsSteeper) {
+  // Higher m concentrates the fading distribution: better than Rayleigh
+  // (m=1) inside the nominal range, worse beyond it.
+  NakagamiFadingModel rayleigh{{}, 1};
+  NakagamiFadingModel steep{{}, 8};
+  const double nominal = steep.nominal_range();
+  EXPECT_GT(steep.receipt_probability(nominal * 0.6),
+            rayleigh.receipt_probability(nominal * 0.6));
+  EXPECT_LT(steep.receipt_probability(nominal * 1.5),
+            rayleigh.receipt_probability(nominal * 1.5));
 }
 
 }  // namespace

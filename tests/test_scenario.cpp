@@ -130,7 +130,7 @@ TEST(Scenario, ManhattanBuilds) {
 
 TEST(Scenario, ShadowingChannelRuns) {
   ScenarioConfig cfg = small_highway("rear");
-  cfg.shadowing = true;
+  cfg.phy = PhyModel::kShadowing;
   Scenario s{cfg};
   s.run();
   const auto r = s.report();

@@ -67,6 +67,13 @@ using namespace vanet;
       << "  --jobs N             worker threads (default 1; 0 = all cores)\n"
       << "  --format F           md | csv | jsonl (default md)\n"
       << "  --jsonl-runs         with jsonl, also emit one record per run\n"
+      << "\nrobustness options (see docs/ROBUSTNESS.md):\n"
+      << "  --timeout S          wall-clock watchdog per run (0 = off)\n"
+      << "  --max-events N       simulator event budget per run (0 = off)\n"
+      << "  --retries N          retry failed runs with derived seeds\n"
+      << "  --fail-fast          abort the sweep on the first failure\n"
+      << "                       (default: capture failures, report them,\n"
+      << "                       keep running, and exit nonzero at the end)\n"
       << "  --list               alias for the list subcommand\n"
       << "  --help               this message\n";
   std::exit(code);
@@ -191,7 +198,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--range") {
       spec.base.comm_range_m = checked_double(arg, next());
     } else if (arg == "--shadowing") {
-      spec.base.shadowing = true;
+      spec.base.phy = sim::PhyModel::kShadowing;
     } else if (arg == "--rsus") {
       spec.base.rsu_count = checked_int32(arg, next());
     } else if (arg == "--buses") {
@@ -238,6 +245,18 @@ int main(int argc, char** argv) {
       if (seeds <= 0) fail("--seeds must be positive");
     } else if (arg == "--jobs") {
       jobs = checked_int32(arg, next());
+    } else if (arg == "--timeout") {
+      spec.guards.timeout_s = checked_double(arg, next());
+      if (spec.guards.timeout_s < 0.0) fail("--timeout must be >= 0");
+    } else if (arg == "--max-events") {
+      const long long n = checked_int(arg, next());
+      if (n < 0) fail("--max-events must be >= 0");
+      spec.guards.max_events = static_cast<std::uint64_t>(n);
+    } else if (arg == "--retries") {
+      spec.guards.retries = checked_int32(arg, next());
+      if (spec.guards.retries < 0) fail("--retries must be >= 0");
+    } else if (arg == "--fail-fast") {
+      spec.guards.capture = false;
     } else if (arg == "--format") {
       format = next();
       if (format != "md" && format != "csv" && format != "jsonl") {
@@ -311,7 +330,23 @@ int main(int argc, char** argv) {
 
   try {
     sim::ExperimentEngine engine{jobs};
-    engine.run(spec, *sink);
+    const sim::ExperimentResult result = engine.run(spec, *sink);
+    if (!result.failures.empty()) {
+      // Structured per-spec summary on stderr (stdout carries the sink
+      // stream untouched), then a nonzero exit so scripts notice.
+      std::cerr << "vanet_cli: " << result.failures.size() << " of "
+                << result.cells.size() * spec.seeds.size()
+                << " runs failed:\n";
+      for (const sim::FailureRecord& f : result.failures) {
+        std::cerr << "  " << f.protocol;
+        for (const auto& [key, value] : f.axes) {
+          std::cerr << " " << key << "=" << value;
+        }
+        std::cerr << " seed=" << f.seed << " attempts=" << f.attempts << " ["
+                  << f.kind << "]: " << f.error << "\n";
+      }
+      return 1;
+    }
   } catch (const std::exception& e) {
     fail(e.what());
   }
