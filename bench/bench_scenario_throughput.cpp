@@ -3,7 +3,9 @@
 // Runs fixed-seed scenarios across the mobility families (highway /
 // Manhattan / trace playback / graph-constrained) plus the `map-aware`
 // routing family (zone/grid/gvgrid with route geometry over an imported
-// irregular map) and a population sweep, and emits one machine-readable JSON
+// irregular map) and the `lossy` family (link-quality routing under
+// Nakagami fast fading: etx vs hop-count dsdv vs the paper's yan on the
+// same dense lattice) and a population sweep, and emits one machine-readable JSON
 // document: wall time, simulator events dispatched, events/sec and the
 // canonical report digest per run. CI runs `--smoke` and fails on malformed
 // output; BENCH_*.json files in the repo root track the full sweep
@@ -11,7 +13,7 @@
 //
 // Usage:
 //   bench_scenario_throughput [--smoke] [--out FILE]
-//       [--families highway,manhattan,trace,graph,map-aware]
+//       [--families highway,manhattan,trace,graph,map-aware,lossy]
 //       [--sizes 100,250,500,1000] [--duration SECONDS] [--seed N]
 #include <unistd.h>
 
@@ -37,7 +39,7 @@ using vanet::sim::TimedRun;
 
 struct Options {
   std::vector<std::string> families{"highway", "manhattan", "trace", "graph",
-                                    "map-aware"};
+                                    "map-aware", "lossy"};
   std::vector<int> sizes{100, 250, 500, 1000};
   double duration_s = 10.0;
   std::uint64_t seed = 1;
@@ -183,6 +185,24 @@ const char* geometry_protocol_for(int vehicles) {
   return "zone";
 }
 
+/// Which protocols a lossy-family row runs (one bench row each). A function
+/// of the vehicle count alone, like geometry_protocol_for: the comparison
+/// set rides the sizes where all three finish quickly; the largest band
+/// keeps the link-quality hot path covered with the etx row alone.
+std::vector<std::string> lossy_protocols_for(int vehicles) {
+  if (vehicles < 750) return {"etx", "dsdv", "yan"};
+  return {"etx"};
+}
+
+/// Protocol rows per (family, vehicles): every family is one row except
+/// `lossy`, which emits one row per compared protocol. "" keeps the
+/// family's own make_config choice.
+std::vector<std::string> protocols_for(const std::string& family,
+                                       int vehicles) {
+  if (family == "lossy") return lossy_protocols_for(vehicles);
+  return {""};
+}
+
 vanet::mobility::ManhattanConfig manhattan_for(int vehicles) {
   vanet::mobility::ManhattanConfig m;
   // Keep the area fixed (urban density sweep): 10x10 streets, 200 m blocks.
@@ -222,6 +242,19 @@ ScenarioConfig make_config(const std::string& family, int vehicles,
     cfg.mobility = MobilityKind::kGraph;
     cfg.manhattan = manhattan_for(vehicles);
     cfg.vehicles = vehicles;
+  } else if (family == "lossy") {
+    // Link-quality comparison sweep: a dense fixed-area lattice (blocks at
+    // the ~100 m scale where Nakagami m=1 links are still good) under fast
+    // fading, so the delivery-ratio estimator has real loss to measure.
+    // m hardens to 3 for the largest band, per-size like the protocol set.
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.manhattan.streets_x = 10;
+    cfg.manhattan.streets_y = 10;
+    cfg.manhattan.block = 100.0;
+    cfg.vehicles = vehicles;
+    cfg.phy = vanet::sim::PhyModel::kNakagami;
+    cfg.nakagami_m = vehicles < 750 ? 1 : 3;
+    cfg.protocol = "etx";  // the caller overrides per lossy_protocols_for row
   } else if (family == "trace") {
     // Deterministically record a Manhattan run and play it back, so the
     // trace family exercises TracePlaybackModel with realistic motion.
@@ -300,15 +333,19 @@ int main(int argc, char** argv) {
   bool first = true;
   for (const std::string& family : opt.families) {
     for (const int vehicles : opt.sizes) {
-      const ScenarioConfig cfg = make_config(family, vehicles, opt);
-      const TimedRun run = vanet::sim::run_timed(cfg);
-      if (!first) json += ",\n";
-      first = false;
-      append_json_run(json, family, vehicles, opt, run);
-      std::cerr << family << "/" << vehicles << ": " << run.events_dispatched
-                << " events in " << run.wall_s << " s ("
-                << static_cast<std::uint64_t>(run.events_per_sec())
-                << " events/sec)\n";
+      for (const std::string& protocol : protocols_for(family, vehicles)) {
+        ScenarioConfig cfg = make_config(family, vehicles, opt);
+        if (!protocol.empty()) cfg.protocol = protocol;
+        const TimedRun run = vanet::sim::run_timed(cfg);
+        if (!first) json += ",\n";
+        first = false;
+        append_json_run(json, family, vehicles, opt, run);
+        std::cerr << family << "/" << vehicles << " (" << cfg.protocol
+                  << "): " << run.events_dispatched << " events in "
+                  << run.wall_s << " s ("
+                  << static_cast<std::uint64_t>(run.events_per_sec())
+                  << " events/sec)\n";
+      }
     }
   }
   json += "\n  ]\n}\n";

@@ -67,6 +67,12 @@ core::SimTime HelloService::send_beacon(NodeId id) {
   header->vel = net_.velocity(id);
   header->acc = net_.acceleration(id);
   header->rsu = net_.is_rsu(id);
+  header->seq = beacon_seqs_[id]++;
+  std::size_t extra_bytes = 0;
+  if (auto ext = beacon_extensions_.find(id);
+      ext != beacon_extensions_.end() && ext->second) {
+    extra_bytes = ext->second(*header);
+  }
 
   Packet p;
   p.kind = PacketKind::kHello;
@@ -74,7 +80,7 @@ core::SimTime HelloService::send_beacon(NodeId id) {
   p.destination = kBroadcastId;
   p.rx = kBroadcastId;
   p.ttl = 1;
-  p.size_bytes = cfg_.beacon_bytes;
+  p.size_bytes = cfg_.beacon_bytes + extra_bytes;
   p.created_at = net_.simulator().now();
   p.header = std::move(header);
   net_.send(id, std::move(p));
@@ -105,6 +111,10 @@ void HelloService::on_frame(NodeId self, const Packet& p) {
   info.rsu = h->rsu;
   info.last_heard = net_.simulator().now();
   tables_[self].update(info);
+  if (auto obs = frame_observers_.find(self);
+      obs != frame_observers_.end() && obs->second) {
+    obs->second(p, *h);
+  }
 }
 
 const NeighborTable& HelloService::table(NodeId id) const {
@@ -116,6 +126,14 @@ const NeighborTable& HelloService::table(NodeId id) const {
 void HelloService::set_loss_callback(NodeId id,
                                      std::function<void(NodeId)> fn) {
   loss_callbacks_[id] = std::move(fn);
+}
+
+void HelloService::set_beacon_extension(NodeId id, BeaconExtension fn) {
+  beacon_extensions_[id] = std::move(fn);
+}
+
+void HelloService::set_frame_observer(NodeId id, FrameObserver fn) {
+  frame_observers_[id] = std::move(fn);
 }
 
 }  // namespace vanet::net

@@ -8,6 +8,7 @@
 // categories with — and they collide like any other frame.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,22 @@ struct HelloConfig {
   std::size_t beacon_bytes = 32;  ///< id + position + velocity + accel
 };
 
+/// Link-quality piggyback: "I receive `neighbor`'s beacons with `ratio`".
+/// The named neighbor reads its own entry back as its forward delivery
+/// ratio (the other direction of the link it cannot observe directly).
+struct HelloLinkEntry {
+  NodeId neighbor = 0;
+  double ratio = 0.0;
+};
+
+/// Distance-vector piggyback: "my multi-hop ETX distance to `dst` is
+/// `dist`, destination-sequenced with `seq`" (see routing/linkquality/).
+struct HelloRouteEntry {
+  NodeId dst = 0;
+  double dist = 0.0;
+  std::uint32_t seq = 0;
+};
+
 struct HelloHeader final : Header {
   static constexpr HeaderTag kTag = HeaderTag::kHello;
   HelloHeader() : Header{kTag} {}
@@ -34,6 +51,14 @@ struct HelloHeader final : Header {
   core::Vec2 vel;
   core::Vec2 acc;
   bool rsu = false;
+  /// Per-sender beacon sequence number, starting at 0 and incrementing by
+  /// one per beacon — receivers can count exactly how many beacons they
+  /// missed (the windowed delivery-ratio estimator's input).
+  std::uint32_t seq = 0;
+  /// Piggybacked link-quality payload, filled by a registered beacon
+  /// extension (empty — and free — for every protocol that registers none).
+  std::vector<HelloLinkEntry> links;
+  std::vector<HelloRouteEntry> routes;
 };
 
 struct NeighborInfo {
@@ -72,6 +97,14 @@ class NeighborTable {
 /// them to `on_frame`.
 class HelloService {
  public:
+  /// Fills the outgoing header's piggyback fields (links/routes) right
+  /// before a beacon is sent; returns the extra payload bytes the piggyback
+  /// adds on the air (0 keeps the beacon at `beacon_bytes`).
+  using BeaconExtension = std::function<std::size_t(HelloHeader&)>;
+  /// Sees every decoded hello frame at the registered node, after the
+  /// neighbor table was updated (link-quality estimators tap in here).
+  using FrameObserver = std::function<void(const Packet&, const HelloHeader&)>;
+
   HelloService(Network& net, core::Rng& rng, HelloConfig cfg = {});
 
   /// Start beaconing for all nodes currently in the network.
@@ -86,6 +119,10 @@ class HelloService {
   /// Observer for neighbor-expiry events at node `id` (route maintenance).
   void set_loss_callback(NodeId id, std::function<void(NodeId lost)> fn);
 
+  /// One extension / observer slot per node (the node's protocol instance).
+  void set_beacon_extension(NodeId id, BeaconExtension fn);
+  void set_frame_observer(NodeId id, FrameObserver fn);
+
  private:
   /// Fires one beacon; returns the (jittered) absolute time of the next one.
   core::SimTime send_beacon(NodeId id);
@@ -95,7 +132,10 @@ class HelloService {
   core::Rng& rng_;
   HelloConfig cfg_;
   std::unordered_map<NodeId, NeighborTable> tables_;
+  std::unordered_map<NodeId, std::uint32_t> beacon_seqs_;
   std::unordered_map<NodeId, std::function<void(NodeId)>> loss_callbacks_;
+  std::unordered_map<NodeId, BeaconExtension> beacon_extensions_;
+  std::unordered_map<NodeId, FrameObserver> frame_observers_;
   bool started_ = false;
 };
 

@@ -1,6 +1,18 @@
 #include "routing/connectivity/flooding.h"
 
+#include <algorithm>
+
+#include "core/assert.h"
+
 namespace vanet::routing {
+
+void FloodingProtocol::start() {
+  if (suppression_ != FloodSuppression::kEtx) return;
+  VANET_ASSERT_MSG(ctx_.hello != nullptr,
+                   "flood.suppression=etx requires the hello service");
+  agent_ = std::make_unique<EtxAgent>(self(), etx_cfg_);
+  agent_->attach(*ctx_.hello);
+}
 
 bool FloodingProtocol::originate(net::NodeId dst, std::uint32_t flow,
                                  std::uint32_t seq, std::size_t bytes) {
@@ -14,7 +26,17 @@ bool FloodingProtocol::originate(net::NodeId dst, std::uint32_t flow,
 
 void FloodingProtocol::handle_frame(const net::Packet& p) {
   if (p.kind != net::PacketKind::kData) return;
-  if (seen_.seen_or_insert(flood_key(p))) {
+  const std::uint64_t key = flood_key(p);
+  if (seen_.seen_or_insert(key)) {
+    // A copy from someone else: if our own rebroadcast of this packet is
+    // still deferred, that earlier transmitter was better placed — cancel.
+    if (auto it = deferred_.find(key); it != deferred_.end()) {
+      if (it->second.pending()) {
+        it->second.cancel();
+        ++events().suppressed_rebroadcasts;
+      }
+      deferred_.erase(it);
+    }
     on_duplicate_overheard(p);
     return;
   }
@@ -30,9 +52,18 @@ void FloodingProtocol::handle_frame(const net::Packet& p) {
   fwd.ttl -= 1;
   fwd.hops += 1;
   ++events().data_forwarded;
-  schedule(jitter(kRebroadcastJitterMs), [this, fwd]() mutable {
-    broadcast(std::move(fwd));
-  });
+  core::SimTime delay = jitter(kRebroadcastJitterMs);
+  if (suppression_ == FloodSuppression::kEtx) {
+    const double slots =
+        std::min(agent_->distance_to(p.origin), kSuppressCapEtx);
+    delay = delay + core::SimTime::seconds(slots * kSuppressSlotMs * 1e-3);
+    deferred_[key] = ctx_.sim->schedule(delay, [this, key, fwd]() mutable {
+      deferred_.erase(key);
+      broadcast(std::move(fwd));
+    });
+  } else {
+    schedule(delay, [this, fwd]() mutable { broadcast(std::move(fwd)); });
+  }
   after_rebroadcast(p);
 }
 

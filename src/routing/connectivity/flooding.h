@@ -5,21 +5,41 @@
 // copy. Simple and robust at low density, but it generates the duplicate
 // load that causes the broadcast storm of [5] — bench_fig2 measures exactly
 // that.
+//
+// `flood.suppression=etx` arms coordinated rebroadcast suppression: instead
+// of a flat jitter, a node defers its re-flood by a delay proportional to
+// its multi-hop ETX distance to the packet's origin (well-connected nodes
+// fire first) and cancels the deferred copy when it overhears the same
+// packet from someone else during the wait — the earlier transmitter was
+// better placed, by the same delay rule, so this copy is redundant.
 #pragma once
 
+#include <map>
+#include <memory>
+
 #include "routing/dup_cache.h"
+#include "routing/linkquality/etx_agent.h"
 #include "routing/protocol.h"
 
 namespace vanet::routing {
 
 class FloodingProtocol : public RoutingProtocol {
  public:
+  FloodingProtocol() = default;
+  FloodingProtocol(FloodSuppression suppression, EtxConfig etx)
+      : suppression_{suppression}, etx_cfg_{etx} {}
+
+  void start() override;
   bool originate(net::NodeId dst, std::uint32_t flow, std::uint32_t seq,
                  std::size_t bytes) override;
   void handle_frame(const net::Packet& p) override;
 
   std::string_view name() const override { return "flooding"; }
   Category category() const override { return Category::kConnectivity; }
+  /// ETX suppression needs the link-quality machinery, which rides hellos.
+  bool wants_hello() const override {
+    return suppression_ == FloodSuppression::kEtx;
+  }
 
  protected:
   /// Hook for Biswas: called after this node rebroadcasts `p`, and when a
@@ -33,9 +53,18 @@ class FloodingProtocol : public RoutingProtocol {
 
   static constexpr int kFloodTtl = 16;
   static constexpr double kRebroadcastJitterMs = 15.0;
+  /// ETX suppression: defer = kSuppressSlotMs per ETX unit to the origin
+  /// (capped at kSuppressCapEtx units) + the usual jitter as a tie-breaker.
+  static constexpr double kSuppressSlotMs = 4.0;
+  static constexpr double kSuppressCapEtx = 16.0;
 
  private:
   DupCache seen_;
+  FloodSuppression suppression_ = FloodSuppression::kNone;
+  EtxConfig etx_cfg_;
+  std::unique_ptr<EtxAgent> agent_;
+  /// Deferred rebroadcasts, cancellable by flood key while they wait.
+  std::map<std::uint64_t, core::EventHandle> deferred_;
 };
 
 }  // namespace vanet::routing

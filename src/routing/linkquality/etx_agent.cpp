@@ -1,0 +1,191 @@
+#include "routing/linkquality/etx_agent.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace vanet::routing {
+
+namespace {
+
+/// Wire-size accounting for the piggyback payload, mirroring the DSDV table
+/// dump costing: id + quantized ratio per link entry, id + quantized
+/// distance + sequence per route entry.
+constexpr std::size_t kLinkEntryBytes = 6;
+constexpr std::size_t kRouteEntryBytes = 10;
+
+/// Outgoing beacons that carry a fresh route invalidation before it goes
+/// quiet (it keeps filtering locally): enough repetitions to survive a lossy
+/// channel, without letting long-lived nodes accrete unbounded kill payload.
+constexpr int kKillBeacons = 3;
+
+}  // namespace
+
+EtxAgent::EtxAgent(net::NodeId self, EtxConfig cfg)
+    : self_{self}, table_{cfg} {}
+
+void EtxAgent::attach(net::HelloService& hello) {
+  hello.set_beacon_extension(
+      self_, [this](net::HelloHeader& h) { return fill_beacon(h); });
+  hello.set_frame_observer(
+      self_, [this](const net::Packet& p, const net::HelloHeader& h) {
+        on_hello(p, h);
+      });
+  hello.set_loss_callback(self_,
+                          [this](net::NodeId lost) { on_neighbor_lost(lost); });
+}
+
+std::size_t EtxAgent::fill_beacon(net::HelloHeader& h) {
+  // Link reports: "I receive you with ratio r" for every live link, sorted
+  // by id — each named neighbor reads its own entry back as its df.
+  const std::vector<net::NodeId> nbrs = table_.neighbors();
+  h.links.reserve(nbrs.size());
+  for (const net::NodeId n : nbrs) {
+    h.links.push_back({n, table_.reverse_ratio(n)});
+  }
+  // Distance vector: self at distance 0 (destination-sequenced, even like
+  // DSDV's valid routes), then the current Dijkstra distances. Entries are
+  // naturally sorted: routes_ is an ordered map.
+  own_seq_ += 2;
+  compute_routes();
+  h.routes.reserve(routes_.size() + kills_.size() + 1);
+  h.routes.push_back({self_, 0.0, own_seq_});
+  for (const auto& [dst, route] : routes_) {
+    if (route.dist >= LinkQualityTable::kMaxEtx) continue;
+    // Re-advertise each destination with the freshest sequence seen for it,
+    // so the destination's clock propagates monotonically hop by hop.
+    const auto seq = dst_seqs_.find(dst);
+    h.routes.push_back(
+        {dst, route.dist, seq != dst_seqs_.end() ? seq->second : route.seq});
+  }
+  // Fresh invalidations ride along until their dissemination budget is
+  // spent; the entries stay behind as local filters either way.
+  for (auto& [dst, kill] : kills_) {
+    if (kill.beacons_left <= 0) continue;
+    --kill.beacons_left;
+    h.routes.push_back({dst, LinkQualityTable::kMaxEtx, kill.seq});
+  }
+  return kLinkEntryBytes * h.links.size() + kRouteEntryBytes * h.routes.size();
+}
+
+void EtxAgent::on_hello(const net::Packet& p, const net::HelloHeader& h) {
+  table_.on_hello(p.origin, h.seq);
+  for (const auto& link : h.links) {
+    if (link.neighbor == self_) {
+      table_.on_report(p.origin, link.ratio);
+      break;
+    }
+  }
+  // Advert intake: the sender's latest distance vector replaces the previous
+  // one wholesale (it IS the sender's current view; merging would resurrect
+  // entries the sender dropped). Entries routing back through us are kept —
+  // Dijkstra's measured self->n edges dominate any n->self->... echo.
+  auto& slot = adverts_[p.origin];
+  slot.clear();
+  slot.reserve(h.routes.size());
+  for (const auto& advert : h.routes) {
+    if (advert.dst == self_) continue;
+    if (advert.dist >= LinkQualityTable::kMaxEtx) {
+      // Poisoned advert (route invalidation): adopt it when it outruns both
+      // our freshest sequence for the destination and any kill we hold.
+      const auto seq = dst_seqs_.find(advert.dst);
+      const std::uint32_t known = seq != dst_seqs_.end() ? seq->second : 0;
+      auto [kill, fresh] =
+          kills_.try_emplace(advert.dst, Kill{advert.seq, kKillBeacons});
+      if (!fresh && advert.seq > kill->second.seq) {
+        kill->second = Kill{advert.seq, kKillBeacons};
+      }
+      if (kill->second.seq <= known) kills_.erase(kill);
+      continue;
+    }
+    const auto kill = kills_.find(advert.dst);
+    if (kill != kills_.end()) {
+      if (advert.seq <= kill->second.seq) continue;  // stale vs invalidation
+      kills_.erase(kill);  // the destination moved past the kill: it lives
+    }
+    auto [seq, fresh] = dst_seqs_.try_emplace(advert.dst, advert.seq);
+    if (!fresh && advert.seq > seq->second) seq->second = advert.seq;
+    slot.push_back(advert);
+  }
+  routes_dirty_ = true;
+}
+
+void EtxAgent::on_neighbor_lost(net::NodeId lost) {
+  table_.erase(lost);
+  adverts_.erase(lost);
+  // Originate a route invalidation one past the destination's freshest known
+  // sequence: odd, so every stale advert for `lost` loses to it everywhere,
+  // and only `lost` itself (whose own sequence is even and still advancing)
+  // can override it by beaconing again.
+  const auto seq = dst_seqs_.find(lost);
+  const std::uint32_t poison =
+      (seq != dst_seqs_.end() ? seq->second : 0) + 1;
+  auto [kill, fresh] = kills_.try_emplace(lost, Kill{poison, kKillBeacons});
+  if (!fresh && poison > kill->second.seq) {
+    kill->second = Kill{poison, kKillBeacons};
+  }
+  routes_dirty_ = true;
+}
+
+void EtxAgent::compute_routes() const {
+  if (!routes_dirty_) return;
+  routes_dirty_ = false;
+  routes_.clear();
+
+  // Dijkstra over the two-layer topology. Ties broken by node id so the
+  // settle order — and hence every first_hop choice — is deterministic.
+  using QueueEntry = std::pair<double, net::NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  for (const net::NodeId n : table_.neighbors()) {
+    const double cost = table_.etx(n);
+    if (cost >= LinkQualityTable::kMaxEtx) continue;
+    auto [it, fresh] = routes_.try_emplace(n);
+    if (fresh || cost < it->second.dist) {
+      it->second = Route{cost, n, 0};
+      frontier.push({cost, n});
+    }
+  }
+  while (!frontier.empty()) {
+    const auto [cost, node] = frontier.top();
+    frontier.pop();
+    const auto settled = routes_.find(node);
+    if (settled == routes_.end() || cost > settled->second.dist) continue;
+    const auto adverts = adverts_.find(node);
+    if (adverts == adverts_.end()) continue;
+    const net::NodeId first_hop = settled->second.first_hop;
+    for (const auto& advert : adverts->second) {
+      // A kill learned after this slot was stored still applies: stale
+      // entries for an invalidated destination must not open routes.
+      const auto kill = kills_.find(advert.dst);
+      if (kill != kills_.end() && advert.seq <= kill->second.seq) continue;
+      const double total = cost + advert.dist;
+      if (total >= LinkQualityTable::kMaxEtx) continue;
+      auto [it, fresh] = routes_.try_emplace(advert.dst);
+      if (fresh || total < it->second.dist) {
+        it->second = Route{total, first_hop, advert.seq};
+        frontier.push({total, advert.dst});
+      }
+    }
+  }
+}
+
+std::optional<net::NodeId> EtxAgent::next_hop(net::NodeId dst) const {
+  compute_routes();
+  const auto it = routes_.find(dst);
+  if (it == routes_.end() || it->second.dist >= LinkQualityTable::kMaxEtx) {
+    return std::nullopt;
+  }
+  return it->second.first_hop;
+}
+
+double EtxAgent::distance_to(net::NodeId dst) const {
+  if (dst == self_) return 0.0;
+  compute_routes();
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return LinkQualityTable::kMaxEtx;
+  return std::min(it->second.dist, LinkQualityTable::kMaxEtx);
+}
+
+}  // namespace vanet::routing

@@ -1,0 +1,94 @@
+// The per-node ETX machinery shared by the `etx` protocol and the flooding
+// suppression mode: a LinkQualityTable fed by sequence-numbered hellos, a
+// destination-sequenced distance vector piggybacked on the same hellos
+// (net::HelloRouteEntry — no extra control frames), and Dijkstra over the
+// resulting ETX-weighted neighbor topology.
+//
+// The graph Dijkstra runs over has two layers: measured edges self -> n for
+// every live link (cost: the table's ETX estimate), and advertised edges
+// n -> dst for every entry of n's last distance vector (cost: n's multi-hop
+// ETX distance). Advert state is stored per advertising neighbor and dies
+// with it (hello expiry), so a crashed neighbor can never leave dangling
+// ETX edges behind — the same soft-state discipline as the tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/hello.h"
+#include "routing/linkquality/link_quality.h"
+
+namespace vanet::routing {
+
+class EtxAgent {
+ public:
+  EtxAgent(net::NodeId self, EtxConfig cfg);
+
+  /// Convenience wiring: registers the beacon extension, frame observer and
+  /// loss callback for `self` on the service. Protocols that need to wrap a
+  /// hook (e.g. to sample metrics) register the callbacks themselves and
+  /// forward to the fill_beacon / on_hello / on_neighbor_lost methods.
+  void attach(net::HelloService& hello);
+
+  /// Fill the piggyback fields of an outgoing beacon; returns the extra
+  /// bytes they occupy on the air.
+  std::size_t fill_beacon(net::HelloHeader& h);
+  /// Process a received hello (estimator update + advert intake).
+  void on_hello(const net::Packet& p, const net::HelloHeader& h);
+  /// The hello layer expired `lost`: drop its link and its adverts.
+  void on_neighbor_lost(net::NodeId lost);
+
+  /// First hop of the cheapest ETX path to `dst`; nullopt when unreachable.
+  std::optional<net::NodeId> next_hop(net::NodeId dst) const;
+  /// Multi-hop ETX distance to `dst`; LinkQualityTable::kMaxEtx when
+  /// unknown or unreachable (0 for self).
+  double distance_to(net::NodeId dst) const;
+
+  const LinkQualityTable& table() const { return table_; }
+  /// True when any distance-vector advert from `from` is still held.
+  bool has_adverts_from(net::NodeId from) const {
+    return adverts_.contains(from);
+  }
+  /// True while a route invalidation for `dst` is active (see kills_).
+  bool has_kill_for(net::NodeId dst) const { return kills_.contains(dst); }
+
+ private:
+  struct Route {
+    double dist = LinkQualityTable::kMaxEtx;
+    net::NodeId first_hop = 0;
+    std::uint32_t seq = 0;  ///< destination sequence from the winning advert
+  };
+
+  void compute_routes() const;
+
+  net::NodeId self_;
+  LinkQualityTable table_;
+  /// Last distance vector heard from each live neighbor, keyed by the
+  /// advertising neighbor (ordered map: route computation iterates it).
+  std::map<net::NodeId, std::vector<net::HelloRouteEntry>> adverts_;
+  /// Freshest destination sequence seen per destination (from accepted
+  /// adverts — every node stamps its own entry with its even own_seq_, so
+  /// this is the destination's clock as it propagates outward).
+  std::map<net::NodeId, std::uint32_t> dst_seqs_;
+  /// Active route invalidations, DSDV-style: losing a neighbor originates a
+  /// poisoned advert for it (dist = kMaxEtx) sequenced one past the
+  /// destination's freshest known — odd, so only the destination itself can
+  /// override it with a newer even beacon. Receivers adopt newer kills,
+  /// drop the route and re-propagate; without this, two survivors'
+  /// distance vectors would resurrect a dead destination's route off each
+  /// other forever. Each kill rides `beacons_left` outgoing beacons (enough
+  /// to disseminate) and then stays local as a filter, so beacons of nodes
+  /// that outlive many neighbors don't grow without bound.
+  struct Kill {
+    std::uint32_t seq = 0;
+    int beacons_left = 0;
+  };
+  std::map<net::NodeId, Kill> kills_;
+  std::uint32_t own_seq_ = 0;
+  mutable std::map<net::NodeId, Route> routes_;
+  mutable bool routes_dirty_ = true;
+};
+
+}  // namespace vanet::routing

@@ -66,6 +66,11 @@ struct ProtocolEvents {
   std::uint64_t rrep_stranded = 0;    ///< replies dropped: reverse route gone
   analysis::RunningStats predicted_route_lifetime;  ///< seconds, at establish
   analysis::RunningStats observed_route_lifetime;   ///< establish -> break
+  // Link-quality family diagnostics (routing/linkquality/).
+  std::uint64_t suppressed_rebroadcasts = 0;  ///< flood.suppression cancels
+  /// |estimated link ETX - analytic ETX at the true distance|, sampled per
+  /// live link at each beacon (etx protocol only).
+  analysis::RunningStats etx_link_abs_error;
 };
 
 struct ProtocolContext {

@@ -13,6 +13,7 @@
 #include "routing/geographic/rover.h"
 #include "routing/geographic/zone.h"
 #include "routing/infrastructure/drr.h"
+#include "routing/linkquality/etx.h"
 #include "routing/mobility/abedi.h"
 #include "routing/mobility/pbr.h"
 #include "routing/mobility/taleb.h"
@@ -38,13 +39,15 @@ std::vector<ProtocolInfo> build_registry() {
   // --- connectivity-based (Sec. III) ---------------------------------------
   r.push_back({"flooding", Category::kConnectivity, "Sec. III-A",
                "none (blind rebroadcast)", "data only",
-               [](const ProtocolDeps&) -> std::unique_ptr<RoutingProtocol> {
-                 return std::make_unique<FloodingProtocol>();
+               [](const ProtocolDeps& d) -> std::unique_ptr<RoutingProtocol> {
+                 return std::make_unique<FloodingProtocol>(d.flood_suppression,
+                                                           d.etx);
                }});
   r.push_back({"biswas", Category::kConnectivity, "[9] Biswas",
                "implicit acknowledgement", "data + implicit ack",
-               [](const ProtocolDeps&) -> std::unique_ptr<RoutingProtocol> {
-                 return std::make_unique<BiswasProtocol>();
+               [](const ProtocolDeps& d) -> std::unique_ptr<RoutingProtocol> {
+                 return std::make_unique<BiswasProtocol>(d.flood_suppression,
+                                                         d.etx);
                }});
   r.push_back({"aodv", Category::kConnectivity, "[6] AODV",
                "hop count", "RREQ/RREP/RERR",
@@ -60,6 +63,11 @@ std::vector<ProtocolInfo> build_registry() {
                "sequenced distance vector", "periodic table dumps",
                [](const ProtocolDeps&) -> std::unique_ptr<RoutingProtocol> {
                  return std::make_unique<DsdvProtocol>();
+               }});
+  r.push_back({"etx", Category::kConnectivity, "[31] De Couto (ETX)",
+               "expected transmission count (Dijkstra)", "hello piggyback",
+               [](const ProtocolDeps& d) -> std::unique_ptr<RoutingProtocol> {
+                 return std::make_unique<EtxProtocol>(d.etx);
                }});
   // --- mobility-based (Sec. IV) --------------------------------------------
   r.push_back({"pbr", Category::kMobility, "[13] PBR",

@@ -12,6 +12,7 @@
 #include "analysis/signal.h"
 #include "map/road_graph.h"
 #include "routing/infrastructure/bus.h"
+#include "routing/linkquality/link_quality.h"
 #include "routing/protocol.h"
 
 namespace vanet::routing {
@@ -30,6 +31,11 @@ struct ProtocolDeps {
   GeometryMode zone_geometry = GeometryMode::kLine;
   GeometryMode grid_geometry = GeometryMode::kLine;
   GeometryMode gvgrid_geometry = GeometryMode::kLine;
+  // Link-quality family (routing/linkquality/): the estimator knobs shared
+  // by `etx` and the flooding suppression mode, and the suppression mode
+  // itself (`flood.suppression`, applied to flooding + biswas).
+  EtxConfig etx;
+  FloodSuppression flood_suppression = FloodSuppression::kNone;
 };
 
 struct ProtocolInfo {

@@ -286,7 +286,15 @@ std::vector<Field> build_fields() {
     f.get = [](const ScenarioConfig& cfg) { return fmt_value(cfg.nakagami_m); };
     f.set = [](ScenarioConfig& cfg, const std::string& k,
                const std::string& v) {
-      const auto parsed = parse_int_checked(v);
+      // Accept integral-valued reals too ("1.0"): m is mathematically a real
+      // shape parameter, the closed-form Erlang tail just needs it integer.
+      auto parsed = parse_int_checked(v);
+      if (!parsed) {
+        const auto real = parse_double_checked(v);
+        if (real && *real == static_cast<long long>(*real)) {
+          parsed = static_cast<long long>(*real);
+        }
+      }
       if (!parsed || *parsed < 1 || *parsed > 64) {
         bad_value(k, v, "an integer in [1, 64]");
       }
@@ -306,6 +314,60 @@ std::vector<Field> build_fields() {
   fields.push_back(geometry_field("zone.geometry", REF(zone_geometry)));
   fields.push_back(geometry_field("grid.geometry", REF(grid_geometry)));
   fields.push_back(geometry_field("gvgrid.geometry", REF(gvgrid_geometry)));
+
+  // --- etx.* / flood.* (link-quality family; routing/linkquality/) ---------
+  {
+    // Bounds mirror the LinkQualityTable assertions so a bad sweep value
+    // fails as a catchable config error, not a crash inside the estimator.
+    Field f;
+    f.key = "etx.window";
+    f.get = [](const ScenarioConfig& cfg) { return fmt_value(cfg.etx.window); };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      const auto parsed = parse_int_checked(v);
+      if (!parsed || *parsed < 1 || *parsed > 64) {
+        bad_value(k, v, "an integer in [1, 64]");
+      }
+      cfg.etx.window = static_cast<int>(*parsed);
+    };
+    fields.push_back(std::move(f));
+  }
+  {
+    Field f;
+    f.key = "etx.hello_weight";
+    f.get = [](const ScenarioConfig& cfg) {
+      return fmt_value(cfg.etx.hello_weight);
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      const auto parsed = parse_double_checked(v);
+      if (!parsed || !(*parsed > 0.0) || *parsed > 1.0) {
+        bad_value(k, v, "a real number in (0, 1]");
+      }
+      cfg.etx.hello_weight = *parsed;
+    };
+    fields.push_back(std::move(f));
+  }
+  {
+    Field f;
+    f.key = "flood.suppression";
+    f.get = [](const ScenarioConfig& cfg) {
+      return cfg.flood_suppression == routing::FloodSuppression::kEtx
+                 ? std::string("etx")
+                 : std::string("none");
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      if (v == "none") {
+        cfg.flood_suppression = routing::FloodSuppression::kNone;
+      } else if (v == "etx") {
+        cfg.flood_suppression = routing::FloodSuppression::kEtx;
+      } else {
+        bad_value(k, v, "none|etx");
+      }
+    };
+    fields.push_back(std::move(f));
+  }
 
   // --- highway.* -----------------------------------------------------------
   num("highway.length", REF(highway.length));

@@ -66,6 +66,14 @@ std::string canonical_report_string(const ScenarioReport& r) {
     append_field(out, "frames_dropped_down", r.frames_dropped_down);
     append_field(out, "recovery_latency_mean_s", r.recovery_latency_mean_s);
   }
+  // Link-quality fields follow the same rule: only serialized when the etx
+  // protocol or a flood.suppression mode ran, so every pre-existing digest
+  // stays byte-identical.
+  if (r.linkquality_enabled) {
+    append_field(out, "etx_link_error_mean", r.etx_link_error_mean);
+    append_field(out, "etx_link_samples", r.etx_link_samples);
+    append_field(out, "suppressed_rebroadcasts", r.suppressed_rebroadcasts);
+  }
   return out;
 }
 
@@ -347,6 +355,8 @@ void Scenario::build_protocols() {
   deps.zone_geometry = cfg_.zone_geometry;
   deps.grid_geometry = cfg_.grid_geometry;
   deps.gvgrid_geometry = cfg_.gvgrid_geometry;
+  deps.etx = cfg_.etx;
+  deps.flood_suppression = cfg_.flood_suppression;
 
   const auto ids = net_->node_ids();
   VANET_ASSERT_MSG(!ids.empty(), "scenario requires at least one node");
@@ -501,6 +511,13 @@ ScenarioReport Scenario::report() const {
     r.segment_blocks = fc.segment_blocks;
     r.frames_dropped_down = c.frames_dropped_down;
     r.recovery_latency_mean_s = net_->recovery_latency().mean();
+  }
+  if (cfg_.protocol == "etx" ||
+      cfg_.flood_suppression != routing::FloodSuppression::kNone) {
+    r.linkquality_enabled = true;
+    r.etx_link_error_mean = events_.etx_link_abs_error.mean();
+    r.etx_link_samples = events_.etx_link_abs_error.count();
+    r.suppressed_rebroadcasts = events_.suppressed_rebroadcasts;
   }
   return r;
 }

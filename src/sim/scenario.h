@@ -117,6 +117,12 @@ struct ScenarioConfig {
   routing::GeometryMode grid_geometry = routing::GeometryMode::kLine;
   routing::GeometryMode gvgrid_geometry = routing::GeometryMode::kLine;
 
+  /// Link-quality estimator knobs (`etx.*` keys), shared by the `etx`
+  /// protocol and ETX-ordered flood suppression (`flood.suppression=etx`,
+  /// applied to the flooding + biswas protocols).
+  routing::EtxConfig etx;
+  routing::FloodSuppression flood_suppression = routing::FloodSuppression::kNone;
+
   TrafficConfig traffic;
 };
 
@@ -158,6 +164,15 @@ struct ScenarioReport {
   std::uint64_t segment_blocks = 0;
   std::uint64_t frames_dropped_down = 0;
   double recovery_latency_mean_s = 0.0;  ///< restart -> first decoded frame
+
+  /// Link-quality family results. Appended to the canonical string — and
+  /// hence the digest — only when linkquality_enabled (protocol=etx or a
+  /// flood.suppression mode active), so pre-existing digests stay
+  /// byte-identical.
+  bool linkquality_enabled = false;
+  double etx_link_error_mean = 0.0;     ///< mean |estimated - analytic| ETX
+  std::uint64_t etx_link_samples = 0;   ///< links sampled for the error stat
+  std::uint64_t suppressed_rebroadcasts = 0;
 };
 
 /// Canonical, lossless textual form of a report: every field on one

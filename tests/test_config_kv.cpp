@@ -284,7 +284,10 @@ TEST(ConfigKv, FaultKeysRoundTrip) {
   EXPECT_EQ(parsed.fault.plan, "node:3:10:60;seg:2:15");
   EXPECT_DOUBLE_EQ(parsed.fault.vehicle_mtbf_s, 120.0);
   EXPECT_DOUBLE_EQ(parsed.fault.rsu_downtime_s, 33.5);
-  EXPECT_NE(config_digest(parsed), config_digest(ScenarioConfig{}));
+  // Named default (not a temporary): gcc 12 -O2 false-positives a
+  // maybe-uninitialized on the temporary's string members after inlining.
+  const ScenarioConfig defaults;
+  EXPECT_NE(config_digest(parsed), config_digest(defaults));
 }
 
 TEST(ConfigKv, ParseSkipsCommentsAndRejectsGarbage) {

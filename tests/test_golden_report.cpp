@@ -124,6 +124,37 @@ std::map<std::string, ScenarioConfig> golden_configs() {
     configs["manhattan-yan-nakagami"] = cfg;
   }
   {
+    // Link-quality routing under fast fading: pins the ETX estimator (hello
+    // sequence numbers, windowed ratios, piggybacked reports + distance
+    // vector), the Dijkstra route computation and the linkquality report
+    // fields (etx_link_* / suppressed_rebroadcasts).
+    ScenarioConfig cfg;
+    cfg.seed = 1337;
+    cfg.duration_s = 15.0;
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.vehicles = 30;
+    cfg.phy = PhyModel::kNakagami;
+    cfg.protocol = "etx";
+    cfg.traffic.stop_s = 15.0;
+    configs["manhattan-etx-nakagami"] = cfg;
+  }
+  {
+    // The same etx stack over an imported non-lattice map with the unit
+    // disk: pins the estimator's no-loss degenerate case (every ratio 1,
+    // Dijkstra reduces to hop count) where any accidental RNG draw or
+    // piggyback byte change would still move the digest.
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    cfg.duration_s = 15.0;
+    cfg.map.source = MapSource::kFile;
+    cfg.map.file = std::string{VANET_SOURCE_DIR} + "/maps/town.csv";
+    cfg.mobility = MobilityKind::kGraph;
+    cfg.vehicles = 30;
+    cfg.protocol = "etx";
+    cfg.traffic.stop_s = 15.0;
+    configs["town-etx"] = cfg;
+  }
+  {
     // Full fault stack on an imported map: planned node outage + road
     // incident + seeded vehicle churn over graph mobility. Pins the "fault"
     // RNG stream, the blocked-segment replanner, the down-node MAC path and
