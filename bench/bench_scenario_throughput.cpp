@@ -5,7 +5,9 @@
 // routing family (zone/grid/gvgrid with route geometry over an imported
 // irregular map) and the `lossy` family (link-quality routing under
 // Nakagami fast fading: etx vs hop-count dsdv vs the paper's yan on the
-// same dense lattice) and a population sweep, and emits one machine-readable JSON
+// same dense lattice) and the `scale` family (the sharded engine's
+// weak-scaling ladder: 10k-100k vehicles at shard counts fixed per band)
+// and a population sweep, and emits one machine-readable JSON
 // document: wall time, simulator events dispatched, events/sec and the
 // canonical report digest per run. CI runs `--smoke` and fails on malformed
 // output; BENCH_*.json files in the repo root track the full sweep
@@ -13,16 +15,23 @@
 //
 // Usage:
 //   bench_scenario_throughput [--smoke] [--out FILE]
-//       [--families highway,manhattan,trace,graph,map-aware,lossy]
+//       [--families highway,manhattan,trace,graph,map-aware,lossy,scale]
 //       [--sizes 100,250,500,1000] [--duration SECONDS] [--seed N]
+//
+// The `scale` family ignores --sizes and --duration: its population ladder,
+// shard counts and 5 s horizon are pure functions of the band, so any rerun
+// reproduces the committed baseline rows exactly (bench_compare keys on
+// family+vehicles+shards).
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "map/builders.h"
@@ -38,11 +47,12 @@ using vanet::sim::ScenarioConfig;
 using vanet::sim::TimedRun;
 
 struct Options {
-  std::vector<std::string> families{"highway", "manhattan", "trace", "graph",
-                                    "map-aware", "lossy"};
+  std::vector<std::string> families{"highway", "manhattan", "trace",  "graph",
+                                    "map-aware", "lossy",   "scale"};
   std::vector<int> sizes{100, 250, 500, 1000};
   double duration_s = 10.0;
   std::uint64_t seed = 1;
+  bool smoke = false;
   std::string out_path;  // empty: stdout
 };
 
@@ -69,10 +79,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     try {
       if (arg == "--smoke") {
         // One cheap lattice row plus one map-aware row, so CI's
-        // bench_compare guards the route-geometry path as well.
-        opt.families = {"manhattan", "map-aware"};
+        // bench_compare guards the route-geometry path as well; the scale
+        // family shrinks to its single 10k @ K=4 smoke row (see
+        // scale_sizes_for / scale_shards_for).
+        opt.families = {"manhattan", "map-aware", "scale"};
         opt.sizes = {100};
         opt.duration_s = 2.0;
+        opt.smoke = true;
       } else if (arg == "--out") {
         const char* v = value();
         if (v == nullptr) return false;
@@ -203,6 +216,50 @@ std::vector<std::string> protocols_for(const std::string& family,
   return {""};
 }
 
+/// The scale family's population ladder. Fixed — --sizes does not apply —
+/// so bench_compare always finds the committed (family, vehicles, shards)
+/// rows. Smoke keeps the single cheapest band.
+std::vector<int> scale_sizes_for(const Options& opt) {
+  if (opt.smoke) return {10000};
+  return {10000, 25000, 50000, 100000};
+}
+
+/// Shard counts a scale row runs at, a pure function of the vehicle count
+/// (one bench row per K). The 50k band carries the full ladder — that is
+/// the row bench_compare's scaling-efficiency floor reads — and the 100k
+/// band skips the serial runs that would dominate sweep wall time.
+std::vector<int> scale_shards_for(int vehicles, const Options& opt) {
+  if (opt.smoke) return {4};
+  if (vehicles < 50000) return {1, 4};
+  if (vehicles < 100000) return {1, 2, 4, 8};
+  return {4, 8};
+}
+
+/// Lattice side (streets per axis) for a scale band: grows with the
+/// population so linear street density stays ~constant (weak scaling) —
+/// total street length is ~600*n^2 m, so ~30 m of street per vehicle in
+/// every band. Banded like geometry_protocol_for, never a function of the
+/// position in the ladder.
+int scale_streets_for(int vehicles) {
+  if (vehicles <= 10000) return 22;
+  if (vehicles <= 25000) return 35;
+  if (vehicles <= 50000) return 50;
+  return 71;
+}
+
+/// Shard counts per (family, vehicles): 1 (the untouched serial engine) for
+/// everything except the scale family.
+std::vector<int> shard_counts_for(const std::string& family, int vehicles,
+                                  const Options& opt) {
+  if (family == "scale") return scale_shards_for(vehicles, opt);
+  return {1};
+}
+
+std::vector<int> sizes_for(const std::string& family, const Options& opt) {
+  if (family == "scale") return scale_sizes_for(opt);
+  return opt.sizes;
+}
+
 vanet::mobility::ManhattanConfig manhattan_for(int vehicles) {
   vanet::mobility::ManhattanConfig m;
   // Keep the area fixed (urban density sweep): 10x10 streets, 200 m blocks.
@@ -255,6 +312,25 @@ ScenarioConfig make_config(const std::string& family, int vehicles,
     cfg.phy = vanet::sim::PhyModel::kNakagami;
     cfg.nakagami_m = vehicles < 750 ? 1 : 3;
     cfg.protocol = "etx";  // the caller overrides per lossy_protocols_for row
+  } else if (family == "scale") {
+    // Sharded-engine weak-scaling ladder: the lattice grows with the
+    // population (scale_streets_for) so density stays ~constant, greedy
+    // forwarding keeps per-packet work local (an AODV RREQ flood across
+    // 100k nodes would measure the flood, not the engine), and
+    // reachability sampling is off — a BFS over 100k nodes each second
+    // would dominate wall time. The 5 s horizon is fixed so full-sweep
+    // rows reproduce regardless of --duration (smoke's 2 s still applies:
+    // min() keeps whichever is cheaper).
+    cfg.mobility = MobilityKind::kManhattan;
+    cfg.manhattan.streets_x = scale_streets_for(vehicles);
+    cfg.manhattan.streets_y = scale_streets_for(vehicles);
+    cfg.manhattan.block = 300.0;
+    cfg.vehicles = vehicles;
+    cfg.protocol = "greedy";
+    cfg.traffic.flows = 50;
+    cfg.sample_reachability = false;
+    cfg.duration_s = std::min(opt.duration_s, 5.0);
+    cfg.traffic.stop_s = cfg.duration_s;
   } else if (family == "trace") {
     // Deterministically record a Manhattan run and play it back, so the
     // trace family exercises TracePlaybackModel with realistic motion.
@@ -278,7 +354,8 @@ ScenarioConfig make_config(const std::string& family, int vehicles,
 }
 
 void append_json_run(std::string& out, const std::string& family, int vehicles,
-                     const Options& opt, const TimedRun& run) {
+                     double sim_duration_s, const Options& opt,
+                     const TimedRun& run) {
   std::ostringstream os;
   os.precision(17);
   os << "    {\n"
@@ -287,7 +364,9 @@ void append_json_run(std::string& out, const std::string& family, int vehicles,
      << "      \"vehicles\": " << run.vehicles << ",\n"
      << "      \"requested_vehicles\": " << vehicles << ",\n"
      << "      \"seed\": " << opt.seed << ",\n"
-     << "      \"sim_duration_s\": " << opt.duration_s << ",\n"
+     << "      \"sim_duration_s\": " << sim_duration_s << ",\n"
+     << "      \"shards\": " << run.shards << ",\n"
+     << "      \"threads\": " << run.threads << ",\n"
      << "      \"wall_s\": " << run.wall_s << ",\n"
      << "      \"events_dispatched\": " << run.events_dispatched << ",\n"
      << "      \"events_per_sec\": " << run.events_per_sec() << ",\n"
@@ -329,22 +408,31 @@ int main(int argc, char** argv) {
   std::string json;
   json += "{\n";
   json += "  \"benchmark\": \"scenario_throughput\",\n";
+  // Hardware context for consumers: bench_compare only enforces the scale
+  // family's parallel-speedup floor when the recording machine actually had
+  // the cores (single-core CI boxes still check digests + per-row ev/s).
+  json += "  \"hw_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"results\": [\n";
   bool first = true;
   for (const std::string& family : opt.families) {
-    for (const int vehicles : opt.sizes) {
+    for (const int vehicles : sizes_for(family, opt)) {
       for (const std::string& protocol : protocols_for(family, vehicles)) {
-        ScenarioConfig cfg = make_config(family, vehicles, opt);
-        if (!protocol.empty()) cfg.protocol = protocol;
-        const TimedRun run = vanet::sim::run_timed(cfg);
-        if (!first) json += ",\n";
-        first = false;
-        append_json_run(json, family, vehicles, opt, run);
-        std::cerr << family << "/" << vehicles << " (" << cfg.protocol
-                  << "): " << run.events_dispatched << " events in "
-                  << run.wall_s << " s ("
-                  << static_cast<std::uint64_t>(run.events_per_sec())
-                  << " events/sec)\n";
+        for (const int shards : shard_counts_for(family, vehicles, opt)) {
+          ScenarioConfig cfg = make_config(family, vehicles, opt);
+          if (!protocol.empty()) cfg.protocol = protocol;
+          cfg.shards = shards;
+          const TimedRun run = vanet::sim::run_timed(cfg);
+          if (!first) json += ",\n";
+          first = false;
+          append_json_run(json, family, vehicles, cfg.duration_s, opt, run);
+          std::cerr << family << "/" << vehicles << " (" << cfg.protocol
+                    << ", K=" << run.shards << "x" << run.threads
+                    << "t): " << run.events_dispatched << " events in "
+                    << run.wall_s << " s ("
+                    << static_cast<std::uint64_t>(run.events_per_sec())
+                    << " events/sec)\n";
+        }
       }
     }
   }

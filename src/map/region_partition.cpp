@@ -1,0 +1,139 @@
+#include "map/region_partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/assert.h"
+
+namespace vanet::map {
+
+namespace {
+
+/// Lexicographic (midpoint y, midpoint x, id) seed order. Midpoints are
+/// exact halves of intersection coordinates, so the comparison is as
+/// deterministic as the graph itself.
+struct SeedKey {
+  double y = 0.0;
+  double x = 0.0;
+  int id = 0;
+
+  bool operator<(const SeedKey& o) const {
+    if (y != o.y) return y < o.y;
+    if (x != o.x) return x < o.x;
+    return id < o.id;
+  }
+};
+
+SeedKey seed_key(const RoadGraph& graph, int seg) {
+  const auto [a, b] = graph.segment_ends(seg);
+  const core::Vec2 mid =
+      (graph.intersection_pos(a) + graph.intersection_pos(b)) * 0.5;
+  return SeedKey{mid.y, mid.x, seg};
+}
+
+/// Segment adjacency: all segments meeting at a shared intersection are
+/// pairwise adjacent. Lists come out sorted ascending and deduplicated, so
+/// BFS visits neighbours in increasing segment id.
+std::vector<std::vector<int>> segment_adjacency(const RoadGraph& graph) {
+  std::vector<std::vector<int>> adj(graph.segment_count());
+  for (int i = 0; i < graph.intersection_count(); ++i) {
+    const auto& incident = graph.adjacency(i);
+    for (const auto& s : incident) {
+      for (const auto& t : incident) {
+        if (s.second != t.second) adj[s.second].push_back(t.second);
+      }
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+RegionPartition partition_regions(const RoadGraph& graph, int regions) {
+  const int n = static_cast<int>(graph.segment_count());
+  RegionPartition out;
+  out.regions = std::clamp(regions, 1, std::max(1, n));
+  out.segment_region.assign(static_cast<std::size_t>(n), -1);
+  out.region_length.assign(static_cast<std::size_t>(out.regions), 0.0);
+  if (n == 0) return out;
+
+  const std::vector<std::vector<int>> adj = segment_adjacency(graph);
+
+  double remaining = graph.total_length();
+  int assigned = 0;
+  const auto assign = [&](int seg, int region) {
+    out.segment_region[seg] = region;
+    out.region_length[region] += graph.segment_length(seg);
+    remaining -= graph.segment_length(seg);
+    ++assigned;
+  };
+
+  for (int r = 0; r < out.regions && assigned < n; ++r) {
+    int seed = -1;
+    for (int s = 0; s < n; ++s) {
+      if (out.segment_region[s] != -1) continue;
+      if (seed == -1 || seed_key(graph, s) < seed_key(graph, seed)) seed = s;
+    }
+    VANET_ASSERT(seed != -1);
+    // The last region's target is everything left, so a connected graph is
+    // fully covered by BFS alone and the fixpoint sweep below is a no-op.
+    const double target = remaining / static_cast<double>(out.regions - r);
+    std::deque<int> frontier;
+    assign(seed, r);
+    frontier.push_back(seed);
+    while (!frontier.empty() && out.region_length[r] < target) {
+      const int s = frontier.front();
+      frontier.pop_front();
+      for (const int t : adj[s]) {
+        if (out.segment_region[t] != -1) continue;
+        assign(t, r);
+        frontier.push_back(t);
+        if (out.region_length[r] >= target) break;
+      }
+    }
+  }
+
+  // Attach stranded segments (cut off from their component's seed by a
+  // budget-exhausted region) to the shortest adjacent region; repeat until
+  // nothing moves. Ties break toward the lowest region id.
+  bool progress = true;
+  while (assigned < n && progress) {
+    progress = false;
+    for (int s = 0; s < n; ++s) {
+      if (out.segment_region[s] != -1) continue;
+      int best = -1;
+      for (const int t : adj[s]) {
+        const int r = out.segment_region[t];
+        if (r == -1) continue;
+        if (best == -1 || out.region_length[r] < out.region_length[best]) {
+          best = r;
+        }
+      }
+      if (best != -1) {
+        assign(s, best);
+        progress = true;
+      }
+    }
+  }
+
+  // Components with no assigned neighbour at all (disconnected graphs where
+  // regions < component count): dump each remaining segment into the
+  // currently shortest region. Coverage stays exact; contiguity is already
+  // broken by the graph itself here.
+  for (int s = 0; s < n; ++s) {
+    if (out.segment_region[s] != -1) continue;
+    int best = 0;
+    for (int r = 1; r < out.regions; ++r) {
+      if (out.region_length[r] < out.region_length[best]) best = r;
+    }
+    assign(s, best);
+  }
+  VANET_ASSERT(assigned == n);
+  return out;
+}
+
+}  // namespace vanet::map

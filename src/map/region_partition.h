@@ -1,0 +1,40 @@
+// Deterministic region partitioning of a RoadGraph for the sharded engine.
+//
+// partition_regions() splits the segment set into `regions` contiguous
+// regions by greedy BFS growth over segment adjacency (two segments are
+// adjacent iff they share an intersection), balanced by cumulative segment
+// length. The result is a pure function of the graph and the region count —
+// no RNG, no floating-point ordering hazards beyond the graph's own
+// coordinates — so every shard of a sharded run (and every rerun of the same
+// scenario) computes the identical partition. The sharded engine derives
+// node ownership from it: a vehicle belongs to the region that owns the
+// segment nearest its initial position (src/sim/sharded/).
+#pragma once
+
+#include <vector>
+
+#include "map/road_graph.h"
+
+namespace vanet::map {
+
+struct RegionPartition {
+  int regions = 1;
+  /// segment id -> owning region in [0, regions). Never -1 after a
+  /// successful partition: every segment is owned by exactly one region.
+  std::vector<int> segment_region;
+  /// Total segment length (metres) per region.
+  std::vector<double> region_length;
+};
+
+/// Partition `graph` into at most `regions` contiguous regions. The region
+/// count is clamped to [1, segment_count]; an empty graph yields one empty
+/// region. Growth order: region r seeds at the unassigned segment with the
+/// lexicographically smallest (midpoint y, midpoint x, id) and BFS-grows
+/// (frontier neighbours visited in increasing segment id) until its length
+/// reaches remaining_length / remaining_regions. Segments unreachable from
+/// any seed within budget are attached to an adjacent region by a
+/// deterministic fixpoint sweep; fully disconnected leftovers go to the
+/// currently shortest region, keeping total coverage exact.
+RegionPartition partition_regions(const RoadGraph& graph, int regions);
+
+}  // namespace vanet::map

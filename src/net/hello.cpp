@@ -44,10 +44,12 @@ HelloService::HelloService(Network& net, core::Rng& rng, HelloConfig cfg)
   VANET_ASSERT(cfg_.expiry >= cfg_.interval);
 }
 
-void HelloService::start() {
+void HelloService::start() { start(net_.node_ids()); }
+
+void HelloService::start(const std::vector<NodeId>& ids) {
   VANET_ASSERT_MSG(!started_, "HelloService::start called twice");
   started_ = true;
-  for (NodeId id : net_.node_ids()) {
+  for (NodeId id : ids) {
     tables_.try_emplace(id);
     // Desynchronise initial beacons across one interval. Beacons re-arm with
     // per-firing jitter (variable period), sweeps are strictly periodic;

@@ -110,6 +110,11 @@ class HelloService {
   /// Start beaconing for all nodes currently in the network.
   void start();
 
+  /// Start beaconing for `ids` only (sharded runs: each shard beacons for
+  /// the nodes it owns, from its own RNG stream). Tables for other nodes
+  /// still build up lazily as their frames arrive via on_frame.
+  void start(const std::vector<NodeId>& ids);
+
   const NeighborTable& table(NodeId id) const;
   const HelloConfig& config() const { return cfg_; }
 

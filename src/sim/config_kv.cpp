@@ -153,6 +153,49 @@ std::vector<Field> build_fields() {
   num("duration_s", REF(duration_s));
   num("mobility_tick_s", REF(mobility_tick_s));
   {
+    // Sharded engine selector: a count, or "auto" for the hardware thread
+    // count (stored as 0; see resolve_shard_count). Serializes back as
+    // "auto" so a round-tripped config resolves on the machine that runs
+    // it, not the one that wrote it.
+    Field f;
+    f.key = "scenario.shards";
+    f.get = [](const ScenarioConfig& cfg) {
+      return cfg.shards == 0 ? std::string("auto") : fmt_value(cfg.shards);
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      if (v == "auto") {
+        cfg.shards = 0;
+        return;
+      }
+      const auto parsed = parse_int_checked(v);
+      if (!parsed || *parsed <= 0 ||
+          *parsed > std::numeric_limits<int>::max()) {
+        bad_value(k, v, "a positive integer or 'auto'");
+      }
+      cfg.shards = static_cast<int>(*parsed);
+    };
+    fields.push_back(std::move(f));
+  }
+  {
+    Field f;
+    f.key = "scenario.shard_threads";
+    f.get = [](const ScenarioConfig& cfg) {
+      return fmt_value(cfg.shard_threads);
+    };
+    f.set = [](ScenarioConfig& cfg, const std::string& k,
+               const std::string& v) {
+      const auto parsed = parse_int_checked(v);
+      if (!parsed || *parsed < 0 ||
+          *parsed > std::numeric_limits<int>::max()) {
+        bad_value(k, v, "a non-negative integer (0 = one thread per shard)");
+      }
+      cfg.shard_threads = static_cast<int>(*parsed);
+    };
+    fields.push_back(std::move(f));
+  }
+  num("scenario.shard_window_ms", REF(shard_window_ms));
+  {
     // `map.source` precedes `mobility` so the parse order lets an explicit
     // mobility line re-settle the alias (see the header comment).
     Field f;

@@ -228,6 +228,16 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
   // Failure slots mirror the report slots: disjoint per-job writes, read
   // only after the join (same threading contract as `reports`).
   std::vector<std::optional<FailureRecord>> failures(n_runs);
+  // Profile slots (spec.profile): same disjoint-write contract. Kept as
+  // parallel arrays rather than widening ScenarioReport, which is digest
+  // material and must not grow nondeterministic fields.
+  struct RunProfile {
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    int shards = 1;
+    int threads = 1;
+  };
+  std::vector<RunProfile> profiles(spec.profile ? n_runs : 0);
 
   auto execute = [&](std::size_t job) {
     const std::size_t cell_idx = job / n_seeds;
@@ -244,7 +254,20 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
         cfg.seed = last_seed;
         Scenario scenario{cfg};
         arm_watchdog(scenario, spec.guards);
-        scenario.run();
+        if (spec.profile) {
+          // NOLINT-vanet(wall-clock): throughput capture (events/sec); never feeds sim state or digests
+          const auto t0 = std::chrono::steady_clock::now();
+          scenario.run();
+          // NOLINT-vanet(wall-clock): throughput capture (events/sec); never feeds sim state or digests
+          const auto t1 = std::chrono::steady_clock::now();
+          RunProfile& prof = profiles[job];
+          prof.wall_s = std::chrono::duration<double>(t1 - t0).count();
+          prof.events = scenario.events_dispatched();
+          prof.shards = scenario.shard_count();
+          prof.threads = scenario.shard_thread_count();
+        } else {
+          scenario.run();
+        }
         reports[job] = scenario.report();
         return;  // success — no failure record for this job
       } catch (const GuardAbort& e) {
@@ -323,6 +346,8 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
     cell_runs.reserve(n_seeds);
     std::uint64_t cell_failed = 0;
     ScenarioConfig run_cfg = cells[c].config;
+    analysis::RunningStats cell_wall;
+    analysis::RunningStats cell_eps;
     for (std::size_t s = 0; s < n_seeds; ++s) {
       const std::size_t job = c * n_seeds + s;
       if (failures[job].has_value()) {
@@ -332,6 +357,13 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
         continue;
       }
       cell_runs.push_back(reports[job]);
+      if (spec.profile) {
+        const RunProfile& prof = profiles[job];
+        cell_wall.add(prof.wall_s);
+        if (prof.wall_s > 0.0) {
+          cell_eps.add(static_cast<double>(prof.events) / prof.wall_s);
+        }
+      }
       if (!sinks.empty()) {
         // Per-run records (and their config copies/digests) are only worth
         // building when someone is listening.
@@ -342,6 +374,14 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
         run_cfg.seed = spec.seeds[s];
         rec.config_digest = config_digest(run_cfg);
         rec.report = reports[job];
+        if (spec.profile) {
+          const RunProfile& prof = profiles[job];
+          rec.profiled = true;
+          rec.wall_s = prof.wall_s;
+          rec.events_dispatched = prof.events;
+          rec.shards = prof.shards;
+          rec.threads = prof.threads;
+        }
         for (ReportSink* sink : sinks) sink->on_run(rec);
       }
     }
@@ -351,6 +391,11 @@ ExperimentResult ExperimentEngine::run(const ExperimentSpec& spec,
     agg_rec.config_digest = cells[c].digest;
     agg_rec.agg = aggregate_runs(cells[c].protocol, cell_runs);
     agg_rec.failed_runs = cell_failed;
+    if (spec.profile) {
+      agg_rec.profiled = true;
+      agg_rec.wall_s = cell_wall;
+      agg_rec.events_per_sec = cell_eps;
+    }
     for (ReportSink* sink : sinks) sink->on_aggregate(agg_rec);
     result.cells.push_back(std::move(agg_rec));
   }

@@ -152,7 +152,16 @@ void JsonlSink::on_run(const RunRecord& rec) {
        << ",\"collision_fraction\":" << num(r.collision_fraction)
        << ",\"reachable_fraction\":" << num(r.reachable_fraction)
        << ",\"route_breaks\":" << r.route_breaks
-       << ",\"discoveries\":" << r.discoveries << "}\n";
+       << ",\"discoveries\":" << r.discoveries;
+  // Throughput fields only exist on profiled runs (ExperimentSpec::profile):
+  // an unprofiled sweep's JSONL stays byte-identical to historical output.
+  if (rec.profiled) {
+    out_ << ",\"wall_s\":" << num(rec.wall_s)
+         << ",\"events_dispatched\":" << rec.events_dispatched
+         << ",\"events_per_sec\":" << num(rec.events_per_sec())
+         << ",\"shards\":" << rec.shards << ",\"threads\":" << rec.threads;
+  }
+  out_ << "}\n";
 }
 
 void JsonlSink::on_failure(const FailureRecord& rec) {
@@ -185,6 +194,10 @@ void JsonlSink::on_aggregate(const AggregateRecord& rec) {
   // Only mention failures when there are any — a healthy sweep's JSONL is
   // byte-identical to pre-fault-capture output.
   if (rec.failed_runs > 0) out_ << ",\"failed_runs\":" << rec.failed_runs;
+  if (rec.profiled) {
+    out_ << ",\"wall_s_mean\":" << num(rec.wall_s.mean())
+         << ",\"events_per_sec_mean\":" << num(rec.events_per_sec.mean());
+  }
   out_ << "}\n";
 }
 

@@ -29,6 +29,16 @@ struct RunRecord {
   std::uint64_t seed = 0;
   std::string config_digest;  ///< digest of the exact run config (with seed)
   ScenarioReport report;
+  /// Throughput capture (ExperimentSpec::profile). `profiled` gates the
+  /// extra sink fields so unprofiled sweeps emit byte-identical output.
+  bool profiled = false;
+  double wall_s = 0.0;                  ///< wall-clock inside Scenario::run()
+  std::uint64_t events_dispatched = 0;  ///< events across every loop
+  int shards = 1;                       ///< effective sharding of the run
+  int threads = 1;
+  double events_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(events_dispatched) / wall_s : 0.0;
+  }
 };
 
 /// One cell of the run matrix, aggregated over all seeds.
@@ -41,6 +51,11 @@ struct AggregateRecord {
   /// Zero on the classic all-healthy path, so sinks that only mention
   /// failures when failed_runs > 0 stay byte-identical to older output.
   std::uint64_t failed_runs = 0;
+  /// Per-cell throughput aggregation over the successful seeds
+  /// (ExperimentSpec::profile); `profiled` gates the extra sink fields.
+  bool profiled = false;
+  analysis::RunningStats wall_s;
+  analysis::RunningStats events_per_sec;
 };
 
 /// One (cell, seed) run that failed every attempt. `seed` is the requested

@@ -59,8 +59,10 @@ TimedRun run_timed(const ScenarioConfig& cfg) {
   // NOLINT-vanet(wall-clock): measures bench throughput (events/sec); never feeds sim state or digests
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  out.events_dispatched = scenario.simulator().events_dispatched();
-  const auto& sched = scenario.simulator().scheduler_stats();
+  out.events_dispatched = scenario.events_dispatched();
+  out.shards = scenario.shard_count();
+  out.threads = scenario.shard_thread_count();
+  const core::EventQueue::AllocStats sched = scenario.scheduler_stats();
   out.sched_slab_allocs = sched.slab_allocations;
   out.sched_oversize_callbacks = sched.oversize_callbacks;
   out.sched_peak_pending = sched.peak_pending;

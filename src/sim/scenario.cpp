@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
 #include "core/assert.h"
 #include "map/builders.h"
 #include "net/fading.h"
+#include "sim/sharded/sharded_scenario.h"
 
 namespace vanet::sim {
 
@@ -89,60 +91,59 @@ std::string report_digest(const ScenarioReport& r) {
   return std::string{buf};
 }
 
-Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} {
-  build_map();
-  build_mobility();
-  build_network();
-  build_support();
-  build_protocols();
-  build_traffic();
-  build_faults();
+int resolve_shard_count(const ScenarioConfig& cfg) {
+  if (cfg.shards < 0) {
+    throw std::invalid_argument("scenario.shards must be >= 0 (0 = auto)");
+  }
+  if (cfg.shards != 0) return cfg.shards;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
 }
 
-void Scenario::build_map() {
-  if (cfg_.map.source == MapSource::kFile) {
-    if (cfg_.mobility != MobilityKind::kGraph &&
-        cfg_.mobility != MobilityKind::kTrace) {
+std::shared_ptr<map::RoadGraph> build_road_graph(const ScenarioConfig& cfg) {
+  if (cfg.map.source == MapSource::kFile) {
+    if (cfg.mobility != MobilityKind::kGraph &&
+        cfg.mobility != MobilityKind::kTrace) {
       throw std::invalid_argument(
           "map.source=file requires graph or trace mobility — the highway / "
           "manhattan models synthesize their own geometry and would not "
           "drive on the imported map");
     }
-    if (cfg_.map.file.empty()) {
+    if (cfg.map.file.empty()) {
       throw std::invalid_argument("map.source=file requires map.file=PATH");
     }
-    road_graph_ = std::make_shared<map::RoadGraph>(
-        map::load_edge_list_csv_file(cfg_.map.file));
-  } else if (cfg_.mobility == MobilityKind::kManhattan ||
-             cfg_.mobility == MobilityKind::kGraph) {
+    return std::make_shared<map::RoadGraph>(
+        map::load_edge_list_csv_file(cfg.map.file));
+  }
+  if (cfg.mobility == MobilityKind::kManhattan ||
+      cfg.mobility == MobilityKind::kGraph) {
     // Urban lattice; kGraph shares the Manhattan dimensions so the two urban
     // models are directly comparable on the same topology.
-    road_graph_ = std::make_shared<map::RoadGraph>(cfg_.manhattan.streets_x,
-                                                   cfg_.manhattan.streets_y,
-                                                   cfg_.manhattan.block);
-  } else {
-    // Highway (and highway-like trace) scenarios: a 1-D line of car_cell_m
-    // cells, the granularity CAR scores connectivity over.
-    const int nx = std::max(
-        2, static_cast<int>(std::lround(cfg_.highway.length / cfg_.car_cell_m)) +
-               1);
-    road_graph_ = std::make_shared<map::RoadGraph>(
-        nx, 1, cfg_.highway.length / (nx - 1));
+    return std::make_shared<map::RoadGraph>(
+        cfg.manhattan.streets_x, cfg.manhattan.streets_y, cfg.manhattan.block);
   }
-  segment_index_ = std::make_unique<map::SegmentIndex>(*road_graph_);
+  // Highway (and highway-like trace) scenarios: a 1-D line of car_cell_m
+  // cells, the granularity CAR scores connectivity over.
+  const int nx = std::max(
+      2,
+      static_cast<int>(std::lround(cfg.highway.length / cfg.car_cell_m)) + 1);
+  return std::make_shared<map::RoadGraph>(nx, 1,
+                                          cfg.highway.length / (nx - 1));
 }
 
-void Scenario::validate_trace_against_map() const {
-  const double tol = cfg_.map.trace_tolerance_m;
+void validate_trace_against_map(const ScenarioConfig& cfg,
+                                const map::RoadGraph& graph,
+                                const map::SegmentIndex& index) {
+  const double tol = cfg.map.trace_tolerance_m;
   if (tol <= 0.0) return;
-  for (const auto& [id, samples] : cfg_.trace.samples()) {
+  for (const auto& [id, samples] : cfg.trace.samples()) {
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const mobility::TraceSample& s = samples[i];
       const core::Vec2 pos{s.x, s.y};
-      const int seg = segment_index_->nearest_segment(pos);
-      const auto [a, b] = road_graph_->segment_ends(seg);
-      const double d = core::distance_to_segment(
-          pos, road_graph_->intersection_pos(a), road_graph_->intersection_pos(b));
+      const int seg = index.nearest_segment(pos);
+      const auto [a, b] = graph.segment_ends(seg);
+      const double d = core::distance_to_segment(pos, graph.intersection_pos(a),
+                                                 graph.intersection_pos(b));
       if (d <= tol) continue;
       // Same line-numbered style as the CSV importers, so a replayed real
       // trace and an imported map cannot silently disagree.
@@ -160,25 +161,28 @@ void Scenario::validate_trace_against_map() const {
   }
 }
 
-void Scenario::build_mobility() {
+std::unique_ptr<mobility::MobilityModel> make_mobility_model(
+    const ScenarioConfig& cfg, const std::shared_ptr<map::RoadGraph>& graph,
+    core::RngManager& rngs, mobility::GraphMobilityModel** graph_model_out) {
+  if (graph_model_out != nullptr) *graph_model_out = nullptr;
   std::unique_ptr<mobility::MobilityModel> model;
-  if (cfg_.mobility == MobilityKind::kHighway) {
-    auto highway = std::make_unique<mobility::IdmHighwayModel>(cfg_.highway);
-    highway->populate(cfg_.vehicles_per_direction, rngs_.stream("mobility-init"));
+  if (cfg.mobility == MobilityKind::kHighway) {
+    auto highway = std::make_unique<mobility::IdmHighwayModel>(cfg.highway);
+    highway->populate(cfg.vehicles_per_direction,
+                      rngs.stream("mobility-init"));
     model = std::move(highway);
-  } else if (cfg_.mobility == MobilityKind::kManhattan) {
-    auto grid = std::make_unique<mobility::ManhattanGridModel>(cfg_.manhattan);
-    grid->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
+  } else if (cfg.mobility == MobilityKind::kManhattan) {
+    auto grid = std::make_unique<mobility::ManhattanGridModel>(cfg.manhattan);
+    grid->populate(cfg.vehicles, rngs.stream("mobility-init"));
     model = std::move(grid);
-  } else if (cfg_.mobility == MobilityKind::kGraph) {
-    auto graph =
-        std::make_unique<mobility::GraphMobilityModel>(road_graph_, cfg_.graph);
-    graph->populate(cfg_.vehicles, rngs_.stream("mobility-init"));
-    graph_model_ = graph.get();
-    model = std::move(graph);
+  } else if (cfg.mobility == MobilityKind::kGraph) {
+    auto graph_model =
+        std::make_unique<mobility::GraphMobilityModel>(graph, cfg.graph);
+    graph_model->populate(cfg.vehicles, rngs.stream("mobility-init"));
+    if (graph_model_out != nullptr) *graph_model_out = graph_model.get();
+    model = std::move(graph_model);
   } else {
-    if (cfg_.map.source == MapSource::kFile) validate_trace_against_map();
-    auto playback = std::make_unique<mobility::TracePlaybackModel>(cfg_.trace);
+    auto playback = std::make_unique<mobility::TracePlaybackModel>(cfg.trace);
     // Node ids mirror vehicle ids, so the trace must use dense ids.
     const auto& vs = playback->vehicles();
     for (std::size_t i = 0; i < vs.size(); ++i) {
@@ -186,6 +190,56 @@ void Scenario::build_mobility() {
     }
     model = std::move(playback);
   }
+  return model;
+}
+
+std::unique_ptr<net::PropagationModel> make_propagation(
+    const ScenarioConfig& cfg) {
+  switch (cfg.phy) {
+    case PhyModel::kShadowing:
+      return std::make_unique<net::LogNormalShadowingModel>(cfg.signal);
+    case PhyModel::kNakagami:
+      // Thrown (not asserted): a bad sweep axis must become a structured
+      // failure row in the experiment engine, not a process abort.
+      if (cfg.nakagami_m < 1) {
+        throw std::invalid_argument("phy.nakagami_m must be >= 1");
+      }
+      return std::make_unique<net::NakagamiFadingModel>(cfg.signal,
+                                                        cfg.nakagami_m);
+    case PhyModel::kUnitDisk:
+      break;
+  }
+  return std::make_unique<net::UnitDiskModel>(cfg.comm_range_m);
+}
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_{std::move(cfg)}, rngs_{cfg_.seed} {
+  if (resolve_shard_count(cfg_) > 1) {
+    sharded_engine_ = std::make_unique<sharded::ShardedScenario>(cfg_);
+    return;
+  }
+  build_map();
+  build_mobility();
+  build_network();
+  build_support();
+  build_protocols();
+  build_traffic();
+  build_faults();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_map() {
+  road_graph_ = build_road_graph(cfg_);
+  segment_index_ = std::make_unique<map::SegmentIndex>(*road_graph_);
+}
+
+void Scenario::build_mobility() {
+  if (cfg_.mobility == MobilityKind::kTrace &&
+      cfg_.map.source == MapSource::kFile) {
+    validate_trace_against_map(cfg_, *road_graph_, *segment_index_);
+  }
+  std::unique_ptr<mobility::MobilityModel> model =
+      make_mobility_model(cfg_, road_graph_, rngs_, &graph_model_);
   vehicle_count_ = model->vehicles().size();
   VANET_ASSERT_MSG(vehicle_count_ >= 2, "scenario needs at least two vehicles");
   mobility_ = std::make_unique<mobility::MobilityManager>(
@@ -194,26 +248,8 @@ void Scenario::build_mobility() {
 }
 
 void Scenario::build_network() {
-  std::unique_ptr<net::PropagationModel> propagation;
-  switch (cfg_.phy) {
-    case PhyModel::kShadowing:
-      propagation = std::make_unique<net::LogNormalShadowingModel>(cfg_.signal);
-      break;
-    case PhyModel::kNakagami:
-      // Thrown (not asserted): a bad sweep axis must become a structured
-      // failure row in the experiment engine, not a process abort.
-      if (cfg_.nakagami_m < 1) {
-        throw std::invalid_argument("phy.nakagami_m must be >= 1");
-      }
-      propagation =
-          std::make_unique<net::NakagamiFadingModel>(cfg_.signal, cfg_.nakagami_m);
-      break;
-    case PhyModel::kUnitDisk:
-      propagation = std::make_unique<net::UnitDiskModel>(cfg_.comm_range_m);
-      break;
-  }
   net_ = std::make_unique<net::Network>(sim_, mobility_.get(),
-                                        std::move(propagation),
+                                        make_propagation(cfg_),
                                         rngs_.stream("net"), cfg_.net);
   for (std::size_t v = 0; v < vehicle_count_; ++v) {
     net_->add_vehicle_node(static_cast<mobility::VehicleId>(v));
@@ -441,6 +477,10 @@ void Scenario::sample_reachability() {
 void Scenario::run() {
   if (ran_) return;
   ran_ = true;
+  if (sharded_engine_) {
+    sharded_engine_->run();
+    return;
+  }
   mobility_->start();
   if (hello_) hello_->start();
   for (auto& p : protocols_) p->start();
@@ -454,17 +494,21 @@ void Scenario::run() {
   sim_.run_until(core::SimTime::seconds(cfg_.duration_s));
 }
 
-ScenarioReport Scenario::report() const {
+ScenarioReport assemble_report(const ScenarioConfig& cfg,
+                               const Metrics& metrics,
+                               const net::NetCounters& c,
+                               const routing::ProtocolEvents& events,
+                               std::uint64_t reachable_samples,
+                               std::uint64_t total_samples) {
   ScenarioReport r;
-  r.protocol = cfg_.protocol;
-  r.pdr = metrics_.pdr();
-  r.delay_ms_mean = metrics_.delay_ms().mean();
+  r.protocol = cfg.protocol;
+  r.pdr = metrics.pdr();
+  r.delay_ms_mean = metrics.delay_ms().mean();
   r.delay_ms_p95_hint =
-      metrics_.delay_ms().mean() + 2.0 * metrics_.delay_ms().stddev();
-  r.hops_mean = metrics_.hops().mean();
-  r.originated = metrics_.originated();
-  r.delivered = metrics_.delivered();
-  const auto& c = net_->counters();
+      metrics.delay_ms().mean() + 2.0 * metrics.delay_ms().stddev();
+  r.hops_mean = metrics.hops().mean();
+  r.originated = metrics.originated();
+  r.delivered = metrics.delivered();
   r.control_frames = c.control_frames_sent;
   r.hello_frames = c.hello_frames_sent;
   r.data_frames = c.data_frames_sent;
@@ -482,14 +526,29 @@ ScenarioReport Scenario::report() const {
                 static_cast<double>(attempted)
           : 0.0;
   r.reachable_fraction =
-      total_samples_ > 0 ? static_cast<double>(reachable_samples_) /
-                               static_cast<double>(total_samples_)
-                         : 0.0;
-  r.route_breaks = events_.route_breaks;
-  r.discoveries = events_.discoveries_started;
-  r.preemptive_rebuilds = events_.preemptive_rebuilds;
-  r.predicted_lifetime_mean_s = events_.predicted_route_lifetime.mean();
-  r.observed_lifetime_mean_s = events_.observed_route_lifetime.mean();
+      total_samples > 0 ? static_cast<double>(reachable_samples) /
+                              static_cast<double>(total_samples)
+                        : 0.0;
+  r.route_breaks = events.route_breaks;
+  r.discoveries = events.discoveries_started;
+  r.preemptive_rebuilds = events.preemptive_rebuilds;
+  r.predicted_lifetime_mean_s = events.predicted_route_lifetime.mean();
+  r.observed_lifetime_mean_s = events.observed_route_lifetime.mean();
+  if (cfg.protocol == "etx" ||
+      cfg.flood_suppression != routing::FloodSuppression::kNone) {
+    r.linkquality_enabled = true;
+    r.etx_link_error_mean = events.etx_link_abs_error.mean();
+    r.etx_link_samples = events.etx_link_abs_error.count();
+    r.suppressed_rebroadcasts = events.suppressed_rebroadcasts;
+  }
+  return r;
+}
+
+ScenarioReport Scenario::report() const {
+  if (sharded_engine_) return sharded_engine_->report();
+  ScenarioReport r = assemble_report(cfg_, metrics_, net_->counters(), events_,
+                                     reachable_samples_, total_samples_);
+  const auto& c = net_->counters();
   if (fault_plan_) {
     r.fault_enabled = true;
     // Classify both sides of the delivery ledger by *send* time against the
@@ -512,14 +571,56 @@ ScenarioReport Scenario::report() const {
     r.frames_dropped_down = c.frames_dropped_down;
     r.recovery_latency_mean_s = net_->recovery_latency().mean();
   }
-  if (cfg_.protocol == "etx" ||
-      cfg_.flood_suppression != routing::FloodSuppression::kNone) {
-    r.linkquality_enabled = true;
-    r.etx_link_error_mean = events_.etx_link_abs_error.mean();
-    r.etx_link_samples = events_.etx_link_abs_error.count();
-    r.suppressed_rebroadcasts = events_.suppressed_rebroadcasts;
-  }
   return r;
+}
+
+core::Simulator& Scenario::simulator() {
+  return sharded_engine_ ? sharded_engine_->coordinator() : sim_;
+}
+
+net::Network& Scenario::network() {
+  VANET_ASSERT_MSG(!sharded_engine_, "network(): serial path only");
+  return *net_;
+}
+
+mobility::MobilityManager& Scenario::mobility() {
+  return sharded_engine_ ? sharded_engine_->mobility() : *mobility_;
+}
+
+Metrics& Scenario::metrics() {
+  VANET_ASSERT_MSG(!sharded_engine_, "metrics(): serial path only");
+  return metrics_;
+}
+
+routing::ProtocolEvents& Scenario::events() {
+  VANET_ASSERT_MSG(!sharded_engine_, "events(): serial path only");
+  return events_;
+}
+
+std::size_t Scenario::vehicle_count() const {
+  return sharded_engine_ ? sharded_engine_->vehicle_count() : vehicle_count_;
+}
+
+const map::RoadGraph& Scenario::road_graph() const {
+  return sharded_engine_ ? sharded_engine_->road_graph() : *road_graph_;
+}
+
+int Scenario::shard_count() const {
+  return sharded_engine_ ? sharded_engine_->shards() : 1;
+}
+
+int Scenario::shard_thread_count() const {
+  return sharded_engine_ ? sharded_engine_->threads() : 1;
+}
+
+std::uint64_t Scenario::events_dispatched() const {
+  return sharded_engine_ ? sharded_engine_->events_dispatched()
+                         : sim_.events_dispatched();
+}
+
+core::EventQueue::AllocStats Scenario::scheduler_stats() const {
+  return sharded_engine_ ? sharded_engine_->scheduler_stats()
+                         : sim_.scheduler_stats();
 }
 
 }  // namespace vanet::sim

@@ -59,6 +59,25 @@ struct ScenarioConfig {
   double duration_s = 60.0;
   double mobility_tick_s = 0.1;
 
+  /// Sharded engine (`scenario.shards`, src/sim/sharded/): partition the
+  /// road graph into this many regions, each with its own event loop and
+  /// worker thread. 1 (default) is the serial path — bit-identical to every
+  /// historical digest. 0 = auto (hardware threads, capped at 8). Values
+  /// > 1 require phy=unitdisk, no RSUs and no fault plan (the cross-shard
+  /// handoff contract; see docs/ARCHITECTURE.md "Sharded engine").
+  int shards = 1;
+  /// Worker threads driving the shards (`scenario.shard_threads`): 0 = one
+  /// per shard; 1 = the serial reference execution of the same sharded
+  /// model. Any thread count produces bit-identical results by construction
+  /// (the digest-equivalence tests pin threads=1 against threads=K).
+  int shard_threads = 0;
+  /// Conservative lookahead window in milliseconds
+  /// (`scenario.shard_window_ms`): shards run [T, T+W) independently and
+  /// exchange cross-cut receptions at window barriers, so a cross-shard
+  /// frame resolves at most W late. Must stay well under the MAC's 50 ms
+  /// channel-memory horizon; values outside (0, 20] are rejected.
+  double shard_window_ms = 1.0;
+
   MapSpec map;                      ///< road topology source (see src/map/)
   MobilityKind mobility = MobilityKind::kHighway;
   mobility::HighwayConfig highway;
@@ -185,22 +204,70 @@ std::string canonical_report_string(const ScenarioReport& r);
 /// prove perf refactors leave the physics untouched.
 std::string report_digest(const ScenarioReport& r);
 
+namespace sharded {
+class ShardedScenario;
+}  // namespace sharded
+
+/// Effective shard count for `cfg` on this machine: cfg.shards, with 0
+/// (auto) resolving to the hardware thread count capped at 8. Always >= 1.
+int resolve_shard_count(const ScenarioConfig& cfg);
+
+/// Build helpers shared by the serial Scenario and the sharded engine, so
+/// both paths assemble identical components from the same config + seed.
+std::shared_ptr<map::RoadGraph> build_road_graph(const ScenarioConfig& cfg);
+std::unique_ptr<mobility::MobilityModel> make_mobility_model(
+    const ScenarioConfig& cfg, const std::shared_ptr<map::RoadGraph>& graph,
+    core::RngManager& rngs, mobility::GraphMobilityModel** graph_model_out);
+std::unique_ptr<net::PropagationModel> make_propagation(
+    const ScenarioConfig& cfg);
+void validate_trace_against_map(const ScenarioConfig& cfg,
+                                const map::RoadGraph& graph,
+                                const map::SegmentIndex& index);
+/// Assemble the protocol-independent report core from (possibly merged)
+/// collectors. The serial report() adds the fault block on top; sharded runs
+/// never have one (faults are excluded by the shard restrictions).
+ScenarioReport assemble_report(const ScenarioConfig& cfg,
+                               const Metrics& metrics,
+                               const net::NetCounters& counters,
+                               const routing::ProtocolEvents& events,
+                               std::uint64_t reachable_samples,
+                               std::uint64_t total_samples);
+
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
 
   /// Run the full configured duration (idempotent; runs once).
   void run();
 
   ScenarioReport report() const;
 
-  // Component access for tests and benches.
-  core::Simulator& simulator() { return sim_; }
-  net::Network& network() { return *net_; }
-  mobility::MobilityManager& mobility() { return *mobility_; }
+  /// True when this run executes on the sharded engine (effective shards
+  /// > 1). The component accessors below that expose serial-only internals
+  /// assert against it.
+  bool is_sharded() const { return sharded_engine_ != nullptr; }
+  /// Effective shard / worker-thread counts (1/1 on the serial path).
+  int shard_count() const;
+  int shard_thread_count() const;
+  /// Events dispatched across every event loop of the run (the one serial
+  /// loop, or coordinator + all shard loops), and the summed scheduler
+  /// allocation telemetry. The timed runner reads these instead of poking
+  /// simulator() so both paths report whole-run totals.
+  std::uint64_t events_dispatched() const;
+  core::EventQueue::AllocStats scheduler_stats() const;
+  /// The sharded engine (null on the serial path); tests reach through this
+  /// for partition/ownership introspection.
+  sharded::ShardedScenario* sharded_engine() { return sharded_engine_.get(); }
+
+  // Component access for tests and benches. simulator() is the coordinator
+  // loop on sharded runs; the others are serial-path only.
+  core::Simulator& simulator();
+  net::Network& network();
+  mobility::MobilityManager& mobility();
   net::HelloService* hello() { return hello_.get(); }
-  Metrics& metrics() { return metrics_; }
-  routing::ProtocolEvents& events() { return events_; }
+  Metrics& metrics();
+  routing::ProtocolEvents& events();
   routing::RoutingProtocol& protocol_at(net::NodeId id) {
     return *protocols_.at(id);
   }
@@ -210,9 +277,9 @@ class Scenario {
   FaultPlan* fault_plan() { return fault_plan_.get(); }
   /// Null unless the scenario uses graph mobility.
   mobility::GraphMobilityModel* graph_model() { return graph_model_; }
-  std::size_t vehicle_count() const { return vehicle_count_; }
+  std::size_t vehicle_count() const;
   /// The shared road topology (mobility + routing both reference it).
-  const map::RoadGraph& road_graph() const { return *road_graph_; }
+  const map::RoadGraph& road_graph() const;
   /// Scenario-owned caches (see docs/ARCHITECTURE.md, "Scenario-owned
   /// caches"); the memo is null when `lifetime.memo=false` and
   /// `lifetime.interp=false`.
@@ -225,7 +292,6 @@ class Scenario {
 
  private:
   void build_map();
-  void validate_trace_against_map() const;
   void build_mobility();
   void build_network();
   void build_support();
@@ -268,6 +334,9 @@ class Scenario {
   std::uint64_t reachable_samples_ = 0;
   std::uint64_t total_samples_ = 0;
   bool ran_ = false;
+  /// Non-null iff the effective shard count is > 1: the whole run lives in
+  /// the sharded engine and every serial member above it stays unbuilt.
+  std::unique_ptr<sharded::ShardedScenario> sharded_engine_;
 };
 
 }  // namespace vanet::sim

@@ -1,0 +1,36 @@
+#include "sim/sharded/halo.h"
+
+#include "core/assert.h"
+#include "core/spatial_grid.h"
+
+namespace vanet::sim::sharded {
+
+std::vector<std::vector<net::NodeId>> halo_members(
+    const std::vector<core::Vec2>& positions, const std::vector<int>& owner,
+    int regions, double range) {
+  VANET_ASSERT(positions.size() == owner.size());
+  VANET_ASSERT(regions >= 1 && range > 0.0);
+  std::vector<std::vector<net::NodeId>> halos(
+      static_cast<std::size_t>(regions));
+  core::SpatialGrid grid{range};
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    grid.insert(static_cast<core::SpatialGrid::Id>(i), positions[i]);
+  }
+  std::vector<core::SpatialGrid::Id> near;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const int own = owner[i];
+    VANET_ASSERT(own >= 0 && own < regions);
+    grid.query_radius_into(positions[i], range,
+                           static_cast<core::SpatialGrid::Id>(i), near);
+    for (const core::SpatialGrid::Id j : near) {
+      if (owner[static_cast<std::size_t>(j)] != own) {
+        halos[static_cast<std::size_t>(own)].push_back(
+            static_cast<net::NodeId>(i));
+        break;
+      }
+    }
+  }
+  return halos;
+}
+
+}  // namespace vanet::sim::sharded

@@ -1,0 +1,33 @@
+// Halo membership: which nodes sit close enough to a region cut to matter.
+//
+// A node is in shard s's halo when it is owned by s and some node owned by a
+// *different* shard lies strictly within `range` of it — exactly the nodes
+// whose transmissions or receptions can cross a region boundary this
+// instant, and therefore the upper bound on cross-shard handoff traffic the
+// window barriers must carry. The engine's correctness never depends on the
+// halo (the ShardBridge resolves crossings per frame); the set is the
+// introspection/diagnostic view: tests pin it against a brute-force O(N^2)
+// oracle, and the partition quality of a map can be judged by how small its
+// halos stay.
+#pragma once
+
+#include <vector>
+
+#include "core/vec2.h"
+#include "net/packet.h"
+
+namespace vanet::sim::sharded {
+
+/// Per-shard halo membership for one position snapshot.
+///
+/// `positions[i]` and `owner[i]` describe node i; `owner` values must lie in
+/// [0, regions). Returns `regions` vectors, each sorted ascending (grid
+/// queries are id-sorted and ids are visited in order), with node i present
+/// in exactly `owner[i]`'s vector iff some j with `owner[j] != owner[i]` has
+/// |positions[i] - positions[j]| < range. Cost is the usual hash-grid
+/// O(N * neighborhood) rather than O(N^2).
+std::vector<std::vector<net::NodeId>> halo_members(
+    const std::vector<core::Vec2>& positions, const std::vector<int>& owner,
+    int regions, double range);
+
+}  // namespace vanet::sim::sharded

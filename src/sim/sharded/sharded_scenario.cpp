@@ -1,0 +1,491 @@
+#include "sim/sharded/sharded_scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/assert.h"
+
+namespace vanet::sim::sharded {
+
+namespace {
+
+void merge_events(routing::ProtocolEvents& into,
+                  const routing::ProtocolEvents& from) {
+  into.discoveries_started += from.discoveries_started;
+  into.routes_established += from.routes_established;
+  into.route_breaks += from.route_breaks;
+  into.preemptive_rebuilds += from.preemptive_rebuilds;
+  into.data_forwarded += from.data_forwarded;
+  into.data_dropped_no_route += from.data_dropped_no_route;
+  into.data_dropped_ttl += from.data_dropped_ttl;
+  into.rreq_at_target += from.rreq_at_target;
+  into.rrep_sent += from.rrep_sent;
+  into.rrep_relayed += from.rrep_relayed;
+  into.rrep_stranded += from.rrep_stranded;
+  into.predicted_route_lifetime.merge(from.predicted_route_lifetime);
+  into.observed_route_lifetime.merge(from.observed_route_lifetime);
+  into.suppressed_rebroadcasts += from.suppressed_rebroadcasts;
+  into.etx_link_abs_error.merge(from.etx_link_abs_error);
+}
+
+void add_counters(net::NetCounters& into, const net::NetCounters& from) {
+  into.frames_enqueued += from.frames_enqueued;
+  into.frames_sent += from.frames_sent;
+  into.frames_dropped_queue += from.frames_dropped_queue;
+  into.frames_dropped_down += from.frames_dropped_down;
+  into.receptions_ok += from.receptions_ok;
+  into.receptions_collided += from.receptions_collided;
+  into.receptions_faded += from.receptions_faded;
+  into.unicast_retries += from.unicast_retries;
+  into.unicast_failures += from.unicast_failures;
+  into.backbone_frames += from.backbone_frames;
+  into.bytes_sent += from.bytes_sent;
+  into.data_frames_sent += from.data_frames_sent;
+  into.control_frames_sent += from.control_frames_sent;
+  into.hello_frames_sent += from.hello_frames_sent;
+}
+
+}  // namespace
+
+/// All per-shard state. Each shard is a complete single-threaded simulation
+/// of the whole network restricted to the nodes it owns: its Network mirrors
+/// every vehicle's position (the shared MobilityManager refreshes all K
+/// mirrors during the serial coordinator phase), but MAC activity, protocol
+/// instances, hello beacons and traffic sources exist only for owned nodes.
+/// The RngManager is seeded with the scenario seed on every shard, so
+/// streams with unsuffixed names ("traffic") draw identically everywhere
+/// while ".shardN"-suffixed streams are decorrelated per shard.
+struct ShardedScenario::Shard {
+  explicit Shard(std::uint64_t seed) : rngs{seed} {}
+
+  core::Simulator sim;
+  core::RngManager rngs;
+  std::unique_ptr<Bridge> bridge;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::HelloService> hello;  ///< null for hello-less protocols
+  /// Indexed by node id; only owned slots are constructed.
+  std::vector<std::unique_ptr<routing::RoutingProtocol>> protocols;
+  routing::ProtocolEvents events;
+  Metrics metrics;
+  std::unique_ptr<CbrTraffic> traffic;
+  std::unique_ptr<analysis::LifetimeMemo> memo;
+  std::unique_ptr<map::SegmentSnapshot> snapshot;
+  std::vector<net::NodeId> owned;
+  /// Handoffs addressed to this shard, filled by the coordinator between
+  /// windows and drained at the start of run_shard_window.
+  std::vector<Handoff> inbox;
+  std::uint64_t handoff_receptions = 0;
+  std::uint64_t handoff_verdicts = 0;
+};
+
+/// The per-shard net::ShardBridge: routes cross-cut receptions and unicast
+/// verdicts into the owning shard's outbox row. Called only from the shard's
+/// own window execution, so the row needs no lock.
+class ShardedScenario::Bridge final : public net::ShardBridge {
+ public:
+  Bridge(ShardedScenario& eng, int shard) : eng_{eng}, shard_{shard} {}
+
+  bool owned(net::NodeId id) const override {
+    return eng_.owner_of(id) == shard_;
+  }
+
+  void post_reception(const net::ChannelState::Tx& tx,
+                      const net::Packet& packet, net::NodeId rx,
+                      bool want_verdict) override {
+    Handoff h;
+    h.tx = tx;
+    h.packet = packet;
+    h.node = rx;
+    h.want_verdict = want_verdict;
+    eng_.outbox_[static_cast<std::size_t>(shard_)]
+                [static_cast<std::size_t>(eng_.owner_of(rx))]
+                    .push_back(std::move(h));
+    ++eng_.shards_[static_cast<std::size_t>(shard_)]->handoff_receptions;
+  }
+
+  void post_verdict(net::NodeId tx_node, bool delivered) override {
+    Handoff h;
+    h.is_verdict = true;
+    h.node = tx_node;
+    h.delivered = delivered;
+    eng_.outbox_[static_cast<std::size_t>(shard_)]
+                [static_cast<std::size_t>(eng_.owner_of(tx_node))]
+                    .push_back(std::move(h));
+    ++eng_.shards_[static_cast<std::size_t>(shard_)]->handoff_verdicts;
+  }
+
+ private:
+  ShardedScenario& eng_;
+  int shard_;
+};
+
+ShardedScenario::ShardedScenario(const ScenarioConfig& cfg)
+    : cfg_{cfg}, coord_rngs_{cfg_.seed} {
+  validate_config();
+  road_graph_ = build_road_graph(cfg_);
+  segment_index_ = std::make_unique<map::SegmentIndex>(*road_graph_);
+  if (cfg_.mobility == MobilityKind::kTrace &&
+      cfg_.map.source == MapSource::kFile) {
+    validate_trace_against_map(cfg_, *road_graph_, *segment_index_);
+  }
+  partition_ = map::partition_regions(*road_graph_, resolve_shard_count(cfg_));
+  std::unique_ptr<mobility::MobilityModel> model =
+      make_mobility_model(cfg_, road_graph_, coord_rngs_, &graph_model_);
+  vehicle_count_ = model->vehicles().size();
+  VANET_ASSERT_MSG(vehicle_count_ >= 2, "scenario needs at least two vehicles");
+  // Static ownership: the region of the segment nearest each vehicle's
+  // *initial* position owns its node for the whole run. Vehicles that drive
+  // into another region keep their home shard — correctness never depends on
+  // ownership matching current geometry, only locality does.
+  node_shard_.resize(vehicle_count_);
+  const auto& initial = model->vehicles();
+  for (std::size_t v = 0; v < vehicle_count_; ++v) {
+    const int seg = segment_index_->nearest_segment(initial[v].pos);
+    node_shard_[v] = partition_.segment_region[static_cast<std::size_t>(seg)];
+  }
+  mobility_ = std::make_unique<mobility::MobilityManager>(
+      coord_sim_, std::move(model), coord_rngs_.stream("mobility"),
+      core::SimTime::seconds(cfg_.mobility_tick_s));
+  const int k = partition_.regions;
+  threads_ = cfg_.shard_threads == 0 ? k : std::min(cfg_.shard_threads, k);
+  // Ferry designation and the density oracle are global, exactly as in the
+  // serial engine; shards read them, only the coordinator writes.
+  ferries_ = std::make_shared<routing::FerrySet>();
+  if (cfg_.bus_count > 0) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, vehicle_count_ / cfg_.bus_count);
+    for (std::size_t b = 0; b < static_cast<std::size_t>(cfg_.bus_count) &&
+                            b * stride < vehicle_count_;
+         ++b) {
+      ferries_->insert(static_cast<net::NodeId>(b * stride));
+    }
+  }
+  density_ =
+      std::make_shared<map::SegmentDensityOracle>(road_graph_->segment_count());
+  outbox_.assign(static_cast<std::size_t>(k),
+                 std::vector<std::vector<Handoff>>(static_cast<std::size_t>(k)));
+  shards_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    shards_.push_back(std::make_unique<Shard>(cfg_.seed));
+    build_shard(s);
+  }
+  schedule_density_updates();
+}
+
+ShardedScenario::~ShardedScenario() = default;
+
+void ShardedScenario::validate_config() const {
+  if (cfg_.phy != PhyModel::kUnitDisk) {
+    throw std::invalid_argument(
+        "scenario.shards > 1 requires phy.model=unitdisk: lossy models draw "
+        "per-reception fades from the sender's RNG, and a cross-shard "
+        "reception would consume them out of stream order");
+  }
+  if (cfg_.rsu_count > 0) {
+    throw std::invalid_argument(
+        "scenario.shards > 1 does not support RSUs (the wired backbone "
+        "bypasses the region handoff contract)");
+  }
+  if (cfg_.fault.enabled) {
+    throw std::invalid_argument(
+        "scenario.shards > 1 does not support fault injection");
+  }
+  if (!(cfg_.shard_window_ms > 0.0) || cfg_.shard_window_ms > 20.0) {
+    throw std::invalid_argument(
+        "scenario.shard_window_ms must be in (0, 20] — the conservative "
+        "window has to stay far below the MAC's 50 ms channel-memory "
+        "horizon");
+  }
+  if (core::SimTime::seconds(cfg_.shard_window_ms / 1000.0) <=
+      core::SimTime{}) {
+    throw std::invalid_argument(
+        "scenario.shard_window_ms rounds to zero simulated time");
+  }
+  if (cfg_.shard_threads < 0) {
+    throw std::invalid_argument("scenario.shard_threads must be >= 0");
+  }
+}
+
+void ShardedScenario::build_shard(int index) {
+  Shard& sh = *shards_[static_cast<std::size_t>(index)];
+  const std::string suffix = ".shard" + std::to_string(index);
+  sh.net = std::make_unique<net::Network>(sh.sim, mobility_.get(),
+                                          make_propagation(cfg_),
+                                          sh.rngs.stream("net" + suffix),
+                                          cfg_.net);
+  for (std::size_t v = 0; v < vehicle_count_; ++v) {
+    sh.net->add_vehicle_node(static_cast<mobility::VehicleId>(v));
+  }
+  sh.bridge = std::make_unique<Bridge>(*this, index);
+  sh.net->set_shard_bridge(sh.bridge.get());
+  for (std::size_t v = 0; v < vehicle_count_; ++v) {
+    if (node_shard_[v] == index) {
+      sh.owned.push_back(static_cast<net::NodeId>(v));
+    }
+  }
+  // Same cache selection as the serial build_support, but per shard: caches
+  // are mutable and shards run concurrently, so nothing cached is shared.
+  // No snapshot prover either — its index fallback answers bit-identically.
+  if (cfg_.lifetime_interp) {
+    sh.memo = std::make_unique<analysis::LifetimeMemo>(
+        analysis::LifetimeMemo::Mode::kInterp);
+  } else if (cfg_.lifetime_memo) {
+    sh.memo = std::make_unique<analysis::LifetimeMemo>();
+  }
+  sh.snapshot = std::make_unique<map::SegmentSnapshot>(*segment_index_);
+
+  routing::ProtocolDeps deps;
+  deps.signal = cfg_.signal;
+  deps.road_graph = road_graph_;
+  deps.density = density_;
+  deps.ferries = ferries_;
+  deps.yan_tickets = cfg_.yan_tickets;
+  deps.zone_geometry = cfg_.zone_geometry;
+  deps.grid_geometry = cfg_.grid_geometry;
+  deps.gvgrid_geometry = cfg_.gvgrid_geometry;
+  deps.etx = cfg_.etx;
+  deps.flood_suppression = cfg_.flood_suppression;
+  sh.protocols.resize(vehicle_count_);
+  for (net::NodeId id : sh.owned) {
+    sh.protocols[id] = routing::ProtocolRegistry::make(cfg_.protocol, deps);
+  }
+  const bool wants_hello =
+      !sh.owned.empty() && sh.protocols[sh.owned.front()]->wants_hello();
+  if (wants_hello) {
+    sh.hello = std::make_unique<net::HelloService>(
+        *sh.net, sh.rngs.stream("hello" + suffix), cfg_.hello);
+  }
+  for (net::NodeId id : sh.owned) {
+    routing::ProtocolContext ctx;
+    ctx.sim = &sh.sim;
+    ctx.net = sh.net.get();
+    ctx.hello = sh.hello.get();
+    ctx.rng = &sh.rngs.stream("proto" + suffix);
+    ctx.events = &sh.events;
+    ctx.self = id;
+    ctx.map = road_graph_.get();
+    ctx.segments = segment_index_.get();
+    ctx.lifetime_memo = sh.memo.get();
+    ctx.seg_snapshot = sh.snapshot.get();
+    sh.protocols[id]->bind(ctx);
+
+    sh.net->set_receive_handler(id, [&sh, id](const net::Packet& p) {
+      if (p.kind == net::PacketKind::kHello) {
+        if (sh.hello) sh.hello->on_frame(id, p);
+        return;
+      }
+      sh.protocols[id]->handle_frame(p);
+    });
+    sh.net->set_unicast_fail_handler(id, [&sh, id](const net::Packet& p) {
+      sh.protocols[id]->handle_unicast_failure(p);
+    });
+    sh.protocols[id]->set_deliver_callback([&sh](const net::Packet& p) {
+      sh.metrics.record_delivery(p.flow, p.seq, p.created_at, sh.sim.now(),
+                                 p.hops);
+    });
+  }
+  std::vector<routing::RoutingProtocol*> raw;
+  raw.reserve(sh.protocols.size());
+  for (auto& p : sh.protocols) raw.push_back(p.get());
+  // The "traffic" stream is deliberately NOT suffixed: every shard draws the
+  // identical flow list (endpoints + staggers) and reserves the identical
+  // sequence blocks; the source filter then schedules only owned flows.
+  sh.traffic = std::make_unique<CbrTraffic>(sh.sim, *sh.net, std::move(raw),
+                                            vehicle_count_, sh.metrics,
+                                            sh.rngs.stream("traffic"),
+                                            cfg_.traffic);
+  sh.traffic->set_source_filter(
+      [this, index](net::NodeId id) { return owner_of(id) == index; });
+}
+
+const std::vector<net::NodeId>& ShardedScenario::owned_ids(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))->owned;
+}
+
+void ShardedScenario::update_density() {
+  // Always the full index rescan (serial `density.incremental=false` path):
+  // the incremental prover leans on per-model tick bookkeeping that is not
+  // worth sharing across K mirrors, and the rescan runs in the serial
+  // coordinator phase where it cannot race anything.
+  std::vector<double> counts(road_graph_->segment_count(), 0.0);
+  for (const auto& v : mobility_->vehicles()) {
+    const int seg = segment_index_->nearest_segment(v.pos);
+    counts[static_cast<std::size_t>(seg)] += 1.0;
+  }
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    density_->set_count(static_cast<int>(s), counts[s]);
+  }
+}
+
+void ShardedScenario::schedule_density_updates() {
+  update_density();
+  coord_sim_.schedule(core::SimTime::seconds(1.0),
+                      [this] { schedule_density_updates(); });
+}
+
+void ShardedScenario::sample_reachability() {
+  // Geometry is identical on every shard's Network mirror; shard 0's flow
+  // list is identical to every other shard's (same "traffic" stream), so
+  // sampling through shard 0 reproduces the serial oracle.
+  const auto& flows = shards_.front()->traffic->flows();
+  if (!flows.empty()) {
+    net::Network& net = *shards_.front()->net;
+    const std::vector<std::uint32_t> labels =
+        net.reachability_components(net.nominal_range());
+    for (const auto& flow : flows) {
+      ++total_samples_;
+      if (labels[flow.src] == labels[flow.dst]) ++reachable_samples_;
+    }
+  }
+  coord_sim_.schedule(core::SimTime::seconds(1.0),
+                      [this] { sample_reachability(); });
+}
+
+void ShardedScenario::distribute_mailboxes() {
+  const int k = shards();
+  for (int dst = 0; dst < k; ++dst) {
+    auto& inbox = shards_[static_cast<std::size_t>(dst)]->inbox;
+    // Drain order is part of the determinism contract: source shard
+    // 0..K-1, generation order within a source.
+    for (int src = 0; src < k; ++src) {
+      auto& box = outbox_[static_cast<std::size_t>(src)]
+                         [static_cast<std::size_t>(dst)];
+      for (Handoff& h : box) inbox.push_back(std::move(h));
+      box.clear();
+    }
+  }
+}
+
+void ShardedScenario::run_shard_window(int shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  // Resolve buffered handoffs first: the shard clock sits exactly at the
+  // window-start barrier (run_before advanced it even through empty
+  // windows), so resolution timestamps are a pure function of the window
+  // grid — not of which worker thread got here first.
+  for (Handoff& h : sh.inbox) {
+    if (h.is_verdict) {
+      sh.net->complete_unicast(h.node, h.delivered);
+    } else {
+      sh.net->deliver_foreign(h.tx, h.packet, h.node, h.want_verdict);
+    }
+  }
+  sh.inbox.clear();
+  if (final_window_) {
+    // Inclusive: events scheduled exactly at the end instant run, matching
+    // the serial engine's single run_until(duration).
+    sh.sim.run_until(window_end_);
+  } else {
+    sh.sim.run_before(window_end_);
+  }
+}
+
+void ShardedScenario::run() {
+  if (ran_) return;
+  ran_ = true;
+  mobility_->start();
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    if (sh.hello) sh.hello->start(sh.owned);
+    for (net::NodeId id : sh.owned) sh.protocols[id]->start();
+    sh.traffic->start();
+  }
+  if (cfg_.sample_reachability) {
+    coord_sim_.schedule(core::SimTime::seconds(cfg_.traffic.start_s),
+                        [this] { sample_reachability(); });
+  }
+  const core::SimTime end = core::SimTime::seconds(cfg_.duration_s);
+  const core::SimTime window =
+      core::SimTime::seconds(cfg_.shard_window_ms / 1000.0);
+
+  // Persistent worker pool. Thread t drives shards t, t+T, t+2T, ... in
+  // increasing order, so any thread count executes the same shard sequences
+  // — threads=1 is the serial reference execution of the identical model.
+  std::barrier<> start_gate(threads_ + 1);
+  std::barrier<> finish_gate(threads_ + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    workers.emplace_back([this, t, &start_gate, &finish_gate] {
+      while (true) {
+        start_gate.arrive_and_wait();
+        if (stop_workers_) return;
+        for (int s = t; s < shards(); s += threads_) run_shard_window(s);
+        finish_gate.arrive_and_wait();
+      }
+    });
+  }
+
+  core::SimTime now{};
+  while (true) {
+    // Serial coordinator phase: mobility ticks (which refresh every shard's
+    // position mirror through the Network tick listeners), density refresh
+    // and reachability samples all run while the workers are parked.
+    coord_sim_.run_until(now);
+    // Conservative window edge: never past the next coordinator event, so
+    // global state is frozen from every shard's point of view inside a
+    // window — the core lookahead argument.
+    core::SimTime next = std::min(now + window, coord_sim_.next_event_time());
+    next = std::min(next, end);
+    window_end_ = next;
+    final_window_ = next >= end;
+    distribute_mailboxes();
+    start_gate.arrive_and_wait();   // publish window, release workers
+    finish_gate.arrive_and_wait();  // all shards reached the window edge
+    now = next;
+    if (final_window_) break;
+  }
+  stop_workers_ = true;
+  start_gate.arrive_and_wait();
+  for (std::thread& w : workers) w.join();
+  // Coordinator events at exactly the end instant (final mobility tick on
+  // round durations) still run, as they would under the serial engine.
+  coord_sim_.run_until(end);
+}
+
+ScenarioReport ShardedScenario::report() const {
+  Metrics merged;
+  net::NetCounters counters{};
+  routing::ProtocolEvents events;
+  // Shard order 0..K-1 is fixed, so merged RunningStats (order-sensitive in
+  // floating point) are as deterministic as everything else.
+  for (const auto& shp : shards_) {
+    merged.merge_from(shp->metrics);
+    add_counters(counters, shp->net->counters());
+    merge_events(events, shp->events);
+  }
+  return assemble_report(cfg_, merged, counters, events, reachable_samples_,
+                         total_samples_);
+}
+
+std::uint64_t ShardedScenario::events_dispatched() const {
+  std::uint64_t total = coord_sim_.events_dispatched();
+  for (const auto& shp : shards_) total += shp->sim.events_dispatched();
+  return total;
+}
+
+core::EventQueue::AllocStats ShardedScenario::scheduler_stats() const {
+  core::EventQueue::AllocStats total = coord_sim_.scheduler_stats();
+  for (const auto& shp : shards_) {
+    const core::EventQueue::AllocStats& s = shp->sim.scheduler_stats();
+    total.slab_allocations += s.slab_allocations;
+    total.oversize_callbacks += s.oversize_callbacks;
+    total.peak_pending = std::max(total.peak_pending, s.peak_pending);
+  }
+  return total;
+}
+
+std::uint64_t ShardedScenario::handoff_receptions() const {
+  std::uint64_t total = 0;
+  for (const auto& shp : shards_) total += shp->handoff_receptions;
+  return total;
+}
+
+std::uint64_t ShardedScenario::handoff_verdicts() const {
+  std::uint64_t total = 0;
+  for (const auto& shp : shards_) total += shp->handoff_verdicts;
+  return total;
+}
+
+}  // namespace vanet::sim::sharded

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/rng.h"
@@ -37,6 +38,15 @@ class CbrTraffic {
   /// Choose endpoints and schedule all packet transmissions.
   void start();
 
+  /// Sharded runs: install before start(). Every RNG draw (endpoint
+  /// selection, per-flow stagger) and the sequence-block reservation still
+  /// happen for ALL flows — the flow list is a pure function of the seed on
+  /// every shard — but only flows whose source the filter accepts are
+  /// scheduled, so each shard originates exactly its owned traffic.
+  void set_source_filter(std::function<bool(net::NodeId)> fn) {
+    source_filter_ = std::move(fn);
+  }
+
   struct Flow {
     net::NodeId src = 0;
     net::NodeId dst = 0;
@@ -62,6 +72,7 @@ class CbrTraffic {
   core::Rng& rng_;
   TrafficConfig cfg_;
   std::vector<Flow> flows_;
+  std::function<bool(net::NodeId)> source_filter_;  ///< null: schedule all
 };
 
 }  // namespace vanet::sim

@@ -1,0 +1,82 @@
+// Property test: sim::sharded::halo_members against the O(N^2) definition.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/vec2.h"
+#include "sim/sharded/halo.h"
+
+namespace vanet::sim::sharded {
+namespace {
+
+std::vector<std::vector<net::NodeId>> brute_force(
+    const std::vector<core::Vec2>& positions, const std::vector<int>& owner,
+    int regions, double range) {
+  std::vector<std::vector<net::NodeId>> halos(
+      static_cast<std::size_t>(regions));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (j == i || owner[j] == owner[i]) continue;
+      if ((positions[i] - positions[j]).norm() < range) {
+        halos[static_cast<std::size_t>(owner[i])].push_back(
+            static_cast<net::NodeId>(i));
+        break;
+      }
+    }
+  }
+  return halos;
+}
+
+struct HaloCase {
+  int nodes;
+  int regions;
+  double range;
+};
+
+class HaloProperty : public ::testing::TestWithParam<HaloCase> {};
+
+TEST_P(HaloProperty, MatchesBruteForce) {
+  const HaloCase c = GetParam();
+  core::RngManager rngs{42};
+  core::Rng& rng = rngs.stream("halo-test");
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<core::Vec2> positions;
+    std::vector<int> owner;
+    positions.reserve(static_cast<std::size_t>(c.nodes));
+    owner.reserve(static_cast<std::size_t>(c.nodes));
+    for (int i = 0; i < c.nodes; ++i) {
+      positions.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+      owner.push_back(static_cast<int>(rng.uniform_int(0, c.regions - 1)));
+    }
+    EXPECT_EQ(halo_members(positions, owner, c.regions, c.range),
+              brute_force(positions, owner, c.regions, c.range));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HaloProperty,
+    ::testing::Values(HaloCase{50, 2, 100.0}, HaloCase{200, 3, 150.0},
+                      HaloCase{400, 4, 80.0}, HaloCase{100, 8, 300.0},
+                      HaloCase{30, 2, 2000.0}));
+
+TEST(Halo, SingleOwnerHasEmptyHalos) {
+  const std::vector<core::Vec2> positions{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<int> owner{0, 0, 0};
+  const auto halos = halo_members(positions, owner, 1, 10.0);
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_TRUE(halos[0].empty());
+}
+
+TEST(Halo, EveryoneNearTheCutIsInTheirOwnersHalo) {
+  // Two owners 1 m apart with a 10 m range: everyone is boundary.
+  const std::vector<core::Vec2> positions{{0, 0}, {1, 0}};
+  const std::vector<int> owner{0, 1};
+  const auto halos = halo_members(positions, owner, 2, 10.0);
+  ASSERT_EQ(halos.size(), 2u);
+  EXPECT_EQ(halos[0], (std::vector<net::NodeId>{0}));
+  EXPECT_EQ(halos[1], (std::vector<net::NodeId>{1}));
+}
+
+}  // namespace
+}  // namespace vanet::sim::sharded

@@ -1,0 +1,152 @@
+#include "map/region_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "map/builders.h"
+#include "map/road_graph.h"
+
+namespace vanet::map {
+namespace {
+
+// Contiguity check: the segments of each region form one connected component
+// of the segment-adjacency graph (segments adjacent iff they share an
+// intersection).
+int region_components(const RoadGraph& g, const RegionPartition& p,
+                      int region) {
+  std::vector<int> members;
+  for (int s = 0; s < static_cast<int>(g.segment_count()); ++s) {
+    if (p.segment_region[s] == region) members.push_back(s);
+  }
+  std::set<int> unvisited(members.begin(), members.end());
+  int components = 0;
+  while (!unvisited.empty()) {
+    ++components;
+    std::deque<int> q{*unvisited.begin()};
+    unvisited.erase(unvisited.begin());
+    while (!q.empty()) {
+      const int s = q.front();
+      q.pop_front();
+      const auto [a, b] = g.segment_ends(s);
+      for (const int node : {a, b}) {
+        for (const auto& [nbr, seg] : g.adjacency(node)) {
+          (void)nbr;
+          if (unvisited.erase(seg) > 0) q.push_back(seg);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+void check_full_coverage(const RoadGraph& g, const RegionPartition& p) {
+  ASSERT_EQ(p.segment_region.size(), g.segment_count());
+  double total = 0.0;
+  for (int s = 0; s < static_cast<int>(g.segment_count()); ++s) {
+    ASSERT_GE(p.segment_region[s], 0);
+    ASSERT_LT(p.segment_region[s], p.regions);
+  }
+  for (const double len : p.region_length) total += len;
+  EXPECT_NEAR(total, g.total_length(), 1e-6 * (1.0 + g.total_length()));
+}
+
+TEST(RegionPartition, SingleRegionOwnsEverything) {
+  const RoadGraph g{6, 6, 150.0};
+  const RegionPartition p = partition_regions(g, 1);
+  EXPECT_EQ(p.regions, 1);
+  check_full_coverage(g, p);
+  EXPECT_DOUBLE_EQ(p.region_length[0], g.total_length());
+}
+
+TEST(RegionPartition, ClampsToSegmentCount) {
+  RoadGraph g;
+  g.add_intersection({0.0, 0.0});
+  g.add_intersection({100.0, 0.0});
+  g.add_intersection({200.0, 0.0});
+  g.add_segment(0, 1);
+  g.add_segment(1, 2);
+  const RegionPartition p = partition_regions(g, 8);
+  EXPECT_EQ(p.regions, 2);
+  check_full_coverage(g, p);
+  EXPECT_EQ(partition_regions(g, 0).regions, 1);
+  EXPECT_EQ(partition_regions(RoadGraph{}, 4).regions, 1);
+}
+
+TEST(RegionPartition, DeterministicAcrossRebuilds) {
+  for (const int k : {2, 3, 4, 8}) {
+    const RoadGraph a{10, 10, 200.0};
+    const RoadGraph b{10, 10, 200.0};
+    const RegionPartition pa = partition_regions(a, k);
+    const RegionPartition pb = partition_regions(b, k);
+    EXPECT_EQ(pa.segment_region, pb.segment_region) << "k=" << k;
+    EXPECT_EQ(pa.region_length, pb.region_length) << "k=" << k;
+  }
+}
+
+TEST(RegionPartition, BalancedByLengthOnLattice) {
+  const RoadGraph g{12, 12, 100.0};
+  for (const int k : {2, 4, 8}) {
+    const RegionPartition p = partition_regions(g, k);
+    check_full_coverage(g, p);
+    const double ideal = g.total_length() / k;
+    for (int r = 0; r < k; ++r) {
+      // Greedy growth overshoots by at most ~one frontier sweep; on a
+      // uniform lattice every region stays within 30% of ideal.
+      EXPECT_GT(p.region_length[r], 0.70 * ideal) << "k=" << k << " r=" << r;
+      EXPECT_LT(p.region_length[r], 1.30 * ideal) << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(RegionPartition, RegionsAreContiguousOnConnectedGraphs) {
+  const RoadGraph lattice{9, 7, 120.0};
+  for (const int k : {2, 3, 4, 6}) {
+    const RegionPartition p = partition_regions(lattice, k);
+    check_full_coverage(lattice, p);
+    for (int r = 0; r < k; ++r) {
+      EXPECT_EQ(region_components(lattice, p, r), 1)
+          << "k=" << k << " region " << r << " not contiguous";
+    }
+  }
+}
+
+TEST(RegionPartition, RealMapCoverageAndContiguity) {
+  const RoadGraph g =
+      load_edge_list_csv_file(std::string{VANET_SOURCE_DIR} + "/maps/town.csv");
+  ASSERT_GT(g.segment_count(), 0u);
+  for (const int k : {2, 4}) {
+    const RegionPartition p = partition_regions(g, k);
+    check_full_coverage(g, p);
+    for (int r = 0; r < k; ++r) {
+      EXPECT_GE(p.region_length[r], 0.0);
+      EXPECT_EQ(region_components(g, p, r), 1) << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(RegionPartition, DisconnectedGraphStillCovered) {
+  RoadGraph g;
+  // Two islands of one segment each plus a 3-segment chain.
+  g.add_intersection({0.0, 0.0});
+  g.add_intersection({50.0, 0.0});
+  g.add_intersection({1000.0, 0.0});
+  g.add_intersection({1050.0, 0.0});
+  g.add_intersection({0.0, 500.0});
+  g.add_intersection({100.0, 500.0});
+  g.add_intersection({200.0, 500.0});
+  g.add_intersection({300.0, 500.0});
+  g.add_segment(0, 1);
+  g.add_segment(2, 3);
+  g.add_segment(4, 5);
+  g.add_segment(5, 6);
+  g.add_segment(6, 7);
+  const RegionPartition p = partition_regions(g, 2);
+  check_full_coverage(g, p);
+}
+
+}  // namespace
+}  // namespace vanet::map

@@ -51,6 +51,12 @@ using namespace vanet;
       << "  --duration S         simulated seconds (default 60)\n"
       << "  --range M            unit-disk radio range (default 250)\n"
       << "  --shadowing          log-normal shadowing channel instead\n"
+      << "  --shards K           region-sharded engine with K event loops\n"
+      << "                       (default 1 = serial; 'auto' = hw threads;\n"
+      << "                       requires the unit-disk PHY, no RSUs/faults)\n"
+      << "  --shard-threads N    worker threads driving the shards\n"
+      << "                       (default 0 = one per shard; any N is\n"
+      << "                       bit-identical to any other)\n"
       << "  --rsus N             roadside units (default 0)\n"
       << "  --buses N            bus ferries (default 0)\n"
       << "  --flows N            CBR flows (default 8)\n"
@@ -199,6 +205,19 @@ int main(int argc, char** argv) {
       spec.base.comm_range_m = checked_double(arg, next());
     } else if (arg == "--shadowing") {
       spec.base.phy = sim::PhyModel::kShadowing;
+    } else if (arg == "--shards") {
+      const std::string v = next();
+      if (v == "auto") {
+        spec.base.shards = 0;
+      } else {
+        const int n = checked_int32(arg, v);
+        if (n <= 0) fail("--shards must be positive (or 'auto')");
+        spec.base.shards = n;
+      }
+    } else if (arg == "--shard-threads") {
+      const int n = checked_int32(arg, next());
+      if (n < 0) fail("--shard-threads must be >= 0 (0 = one per shard)");
+      spec.base.shard_threads = n;
     } else if (arg == "--rsus") {
       spec.base.rsu_count = checked_int32(arg, next());
     } else if (arg == "--buses") {
